@@ -1,0 +1,339 @@
+//! Asynchronous push BFS (paper Listing 5 / Section IV).
+//!
+//! A task is `(vertex, depth-at-push)`. Processing a popped vertex reads
+//! its *current* depth (which may have improved since the push — the
+//! paper's `int depth = bfs.depth[node]`), then relaxes every neighbor:
+//!
+//! * local neighbor — atomicMin on the depth array; push `(w, d+1)` if
+//!   improved (`F.depth_update_local` + `push_local`);
+//! * remote neighbor — emit `(w, d+1)` to the owner, whose receive path
+//!   applies the one-sided atomicMin and enqueues only improvements
+//!   (`depth_update_remote` + `push_remote`).
+//!
+//! Speculation and redundant work: out-of-order processing can visit a
+//! vertex more than once before its depth settles. The priority-queue
+//! configuration orders tasks by depth-at-push (`threshold_delta = 1`),
+//! which is exactly the paper's mitigation quantified in Table III; this
+//! module's [`BfsRun::normalized_workload`] reproduces that metric.
+
+use std::sync::Arc;
+
+use atos_core::{Application, AtosConfig, Emitter, RunStats, Runtime};
+use atos_graph::csr::{Csr, VertexId};
+use atos_graph::partition::Partition;
+use atos_graph::reference::UNREACHED;
+use atos_sim::Fabric;
+
+/// BFS as an Atos application.
+pub struct BfsApp {
+    graph: Arc<Csr>,
+    partition: Arc<Partition>,
+    /// Current best depth per vertex (`u32::MAX` = unreached).
+    pub depth: Vec<u32>,
+    source: VertexId,
+}
+
+impl BfsApp {
+    /// New BFS instance from `source`.
+    pub fn new(graph: Arc<Csr>, partition: Arc<Partition>, source: VertexId) -> Self {
+        let n = graph.n_vertices();
+        assert_eq!(partition.n_vertices(), n);
+        let mut depth = vec![UNREACHED; n];
+        depth[source as usize] = 0;
+        BfsApp {
+            graph,
+            partition,
+            depth,
+            source,
+        }
+    }
+
+    /// The BFS source vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Number of vertices reached so far.
+    pub fn reached(&self) -> usize {
+        self.depth.iter().filter(|&&d| d != UNREACHED).count()
+    }
+}
+
+impl Application for BfsApp {
+    /// `(vertex, depth at push time)`.
+    type Task = (VertexId, u32);
+
+    fn process(&mut self, pe: usize, (v, _pushed_depth): Self::Task, out: &mut Emitter<Self::Task>) {
+        debug_assert_eq!(self.partition.owner(v), pe, "task on wrong PE");
+        let d = self.depth[v as usize];
+        debug_assert_ne!(d, UNREACHED, "queued vertex must have a depth");
+        let nd = d + 1;
+        for &w in self.graph.neighbors(v) {
+            let owner = self.partition.owner(w);
+            if owner == pe {
+                // Local atomicMin + conditional local push.
+                if nd < self.depth[w as usize] {
+                    self.depth[w as usize] = nd;
+                    out.push_local((w, nd));
+                }
+            } else if nd < self.depth[w as usize] {
+                // The paper's sender-side one-sided RDMA atomicMin
+                // (Listing 5): `if (atomicMin(depth+neighbor, d+1, pe) >
+                // d+1) push_warp(neighbor, pe)`. The fetching atomic takes
+                // effect at the remote memory when issued, and only an
+                // improving update triggers the remote queue push.
+                self.depth[w as usize] = nd;
+                out.push(owner, (w, nd));
+            }
+        }
+    }
+
+    fn on_receive(&mut self, pe: usize, (w, nd): Self::Task) -> Option<Self::Task> {
+        debug_assert_eq!(self.partition.owner(w), pe);
+        // The sender's remote atomicMin already updated `depth[w]`; the
+        // arriving push enqueues the vertex unless a better update landed
+        // in the meantime (whose own push will supersede this one).
+        if nd <= self.depth[w as usize] {
+            Some((w, nd))
+        } else {
+            None
+        }
+    }
+
+    fn priority(&self, (_, d): &Self::Task) -> u32 {
+        *d
+    }
+
+    fn task_edges(&self, (v, _): &Self::Task) -> u64 {
+        self.graph.degree(*v) as u64
+    }
+
+    fn task_bytes(&self) -> u64 {
+        8 // vertex id + depth, two u32s
+    }
+}
+
+/// Result of one BFS run.
+#[derive(Debug, Clone)]
+pub struct BfsRun {
+    /// Runtime measurements.
+    pub stats: RunStats,
+    /// Final depth array.
+    pub depth: Vec<u32>,
+    /// Vertices reachable from the source (the ideal visit count).
+    pub reachable: u64,
+}
+
+impl BfsRun {
+    /// Table III's metric: total visits / ideal visits.
+    pub fn normalized_workload(&self) -> f64 {
+        self.stats.normalized_workload(self.reachable)
+    }
+}
+
+/// Run asynchronous BFS under `cfg` on `fabric`.
+pub fn run_bfs(
+    graph: Arc<Csr>,
+    partition: Arc<Partition>,
+    source: VertexId,
+    fabric: Fabric,
+    cfg: AtosConfig,
+) -> BfsRun {
+    assert_eq!(partition.n_parts(), fabric.n_pes(), "partition/fabric size");
+    let app = BfsApp::new(graph, partition.clone(), source);
+    let mut rt = Runtime::new(app, fabric, cfg);
+    let src_pe = partition.owner(source);
+    rt.seed(src_pe, [(source, 0u32)]);
+    let stats = rt.run();
+    let app = rt.into_app();
+    let reachable = app.reached() as u64;
+    BfsRun {
+        stats,
+        depth: app.depth,
+        reachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atos_graph::generators::{GraphKind, Preset, Scale};
+    use atos_graph::reference;
+
+    fn check_exact(g: Arc<Csr>, part: Arc<Partition>, src: VertexId, fabric: Fabric, cfg: AtosConfig) {
+        let run = run_bfs(g.clone(), part, src, fabric, cfg);
+        let want = reference::bfs(&g, src);
+        assert_eq!(run.depth, want, "async BFS must match serial depths");
+    }
+
+    #[test]
+    fn matches_reference_single_pe_all_configs() {
+        for p in Preset::ALL {
+            let g = Arc::new(p.build(Scale::Tiny));
+            let src = p.bfs_source(&g);
+            let part = Arc::new(Partition::single(g.n_vertices()));
+            for cfg in [
+                AtosConfig::standard_persistent(),
+                AtosConfig::priority_discrete(),
+                AtosConfig::standard_discrete(),
+            ] {
+                check_exact(g.clone(), part.clone(), src, Fabric::daisy(1), cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_multi_pe_nvlink() {
+        for p in Preset::ALL {
+            let g = Arc::new(p.build(Scale::Tiny));
+            let src = p.bfs_source(&g);
+            for n in [2, 4] {
+                let part = Arc::new(Partition::bfs_grow(&g, n, 7));
+                check_exact(
+                    g.clone(),
+                    part.clone(),
+                    src,
+                    Fabric::daisy(n),
+                    AtosConfig::standard_persistent(),
+                );
+                check_exact(
+                    g.clone(),
+                    part,
+                    src,
+                    Fabric::daisy(n),
+                    AtosConfig::priority_discrete(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_ib_with_aggregator() {
+        let p = Preset::by_name("soc-LiveJournal1_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let src = p.bfs_source(&g);
+        for n in [2, 4, 8] {
+            let part = Arc::new(Partition::random(g.n_vertices(), n, 5));
+            check_exact(
+                g.clone(),
+                part,
+                src,
+                Fabric::ib_cluster(n),
+                AtosConfig::ib_bfs(),
+            );
+        }
+    }
+
+    #[test]
+    fn priority_queue_reduces_redundant_work() {
+        // Table III's phenomenon, on the scale-free tiny preset with 4 PEs.
+        let p = Preset::by_name("twitter_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let src = p.bfs_source(&g);
+        let part = Arc::new(Partition::random(g.n_vertices(), 4, 9));
+        let fifo = run_bfs(
+            g.clone(),
+            part.clone(),
+            src,
+            Fabric::daisy(4),
+            AtosConfig::standard_persistent(),
+        );
+        let prio = run_bfs(
+            g.clone(),
+            part,
+            src,
+            Fabric::daisy(4),
+            AtosConfig::priority_discrete(),
+        );
+        assert!(fifo.normalized_workload() >= 1.0);
+        assert!(prio.normalized_workload() >= 1.0);
+        assert!(
+            prio.normalized_workload() <= fifo.normalized_workload() + 1e-9,
+            "priority {} should not exceed FIFO {}",
+            prio.normalized_workload(),
+            fifo.normalized_workload()
+        );
+    }
+
+    #[test]
+    fn workload_near_ideal_on_single_pe() {
+        let p = Preset::by_name("road_usa_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let src = p.bfs_source(&g);
+        let part = Arc::new(Partition::single(g.n_vertices()));
+        let run = run_bfs(
+            g,
+            part,
+            src,
+            Fabric::daisy(1),
+            AtosConfig::standard_persistent(),
+        );
+        let w = run.normalized_workload();
+        assert!((1.0..1.2).contains(&w), "single-PE workload {w}");
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_unreached() {
+        // Two disconnected chains.
+        let g = Arc::new(Csr::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]));
+        let part = Arc::new(Partition::block(6, 2));
+        let run = run_bfs(
+            g,
+            part,
+            0,
+            Fabric::daisy(2),
+            AtosConfig::standard_persistent(),
+        );
+        assert_eq!(run.depth[..3], [0, 1, 2]);
+        assert!(run.depth[3..].iter().all(|&d| d == UNREACHED));
+        assert_eq!(run.reachable, 3);
+    }
+
+    #[test]
+    fn mesh_graphs_prefer_persistent_kernels() {
+        // The paper's central mesh result: kernel launch overhead dominates
+        // high-diameter traversal, so standard+persistent beats
+        // priority+discrete (Table II road_usa / osm-eur rows).
+        let p = Preset::by_name("road_usa_s").unwrap();
+        assert_eq!(p.kind, GraphKind::MeshLike);
+        let g = Arc::new(p.build(Scale::Tiny));
+        let src = p.bfs_source(&g);
+        let part = Arc::new(Partition::bfs_grow(&g, 4, 3));
+        let pers = run_bfs(
+            g.clone(),
+            part.clone(),
+            src,
+            Fabric::daisy(4),
+            AtosConfig::standard_persistent(),
+        );
+        let disc = run_bfs(g, part, src, Fabric::daisy(4), AtosConfig::priority_discrete());
+        assert!(
+            pers.stats.elapsed_ns < disc.stats.elapsed_ns,
+            "persistent {} vs discrete {}",
+            pers.stats.elapsed_ms(),
+            disc.stats.elapsed_ms()
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = Preset::by_name("hollywood_2009_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let src = p.bfs_source(&g);
+        let part = Arc::new(Partition::bfs_grow(&g, 3, 1));
+        let go = || {
+            run_bfs(
+                g.clone(),
+                part.clone(),
+                src,
+                Fabric::daisy(3),
+                AtosConfig::standard_persistent(),
+            )
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.stats.elapsed_ns, b.stats.elapsed_ns);
+        assert_eq!(a.depth, b.depth);
+        assert_eq!(a.stats.messages, b.stats.messages);
+    }
+}

@@ -1,0 +1,345 @@
+//! Asynchronous push PageRank (Section IV).
+//!
+//! Every vertex starts with residue `1 − α` and is seeded into its owner's
+//! queue. Relaxing a vertex folds its residue into its rank and pushes
+//! `α·residue/deg` to each out-neighbor; a neighbor (re-)enters the queue
+//! when its residue crosses ε. Remote contributions travel as one-sided
+//! messages and are applied at the destination, which re-queues the vertex
+//! on a threshold crossing.
+//!
+//! The paper's GPU implementation rediscovers unconverged vertices by
+//! rescanning on pop failure (`f2`) because cross-PE in-queue flags are
+//! racy on hardware; the simulator serializes each PE's events, so exact
+//! in-queue tracking is equivalent and is what we do (the `f2` rescan
+//! would find exactly the vertices our `on_receive` re-queues).
+//!
+//! PageRank is the paper's *bandwidth-bound* application: unlike BFS,
+//! every vertex is relaxed many times and every relaxation communicates,
+//! which is why the IB configuration batches aggressively
+//! (`WAIT_TIME = 32`).
+
+use std::sync::Arc;
+
+use atos_core::{Application, AtosConfig, Emitter, RunStats, Runtime};
+use atos_graph::csr::{Csr, VertexId};
+use atos_graph::partition::Partition;
+use atos_sim::Fabric;
+
+/// A PageRank task: relax an owned vertex, or apply a remote contribution.
+#[derive(Debug, Clone, Copy)]
+pub enum PrTask {
+    /// Pop-and-relax an owned vertex.
+    Relax(VertexId),
+    /// One-sided residue contribution to a remote vertex.
+    Contrib(VertexId, f32),
+}
+
+/// PageRank as an Atos application.
+pub struct PageRankApp {
+    graph: Arc<Csr>,
+    partition: Arc<Partition>,
+    /// Accumulated rank per vertex.
+    pub rank: Vec<f64>,
+    /// Pending residue per vertex.
+    pub residue: Vec<f64>,
+    in_queue: Vec<bool>,
+    alpha: f64,
+    epsilon: f64,
+}
+
+impl PageRankApp {
+    /// New instance with damping `alpha` and threshold `epsilon`.
+    pub fn new(graph: Arc<Csr>, partition: Arc<Partition>, alpha: f64, epsilon: f64) -> Self {
+        let n = graph.n_vertices();
+        assert_eq!(partition.n_vertices(), n);
+        PageRankApp {
+            graph,
+            partition,
+            rank: vec![0.0; n],
+            residue: vec![1.0 - alpha; n],
+            in_queue: vec![true; n],
+            alpha,
+            epsilon,
+        }
+    }
+
+    /// Largest pending residue (convergence diagnostic).
+    pub fn max_residue(&self) -> f64 {
+        self.residue.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+impl Application for PageRankApp {
+    type Task = PrTask;
+
+    fn process(&mut self, pe: usize, task: PrTask, out: &mut Emitter<PrTask>) {
+        let v = match task {
+            PrTask::Relax(v) => v,
+            PrTask::Contrib(..) => unreachable!("contributions are applied in on_receive"),
+        };
+        debug_assert_eq!(self.partition.owner(v), pe);
+        self.in_queue[v as usize] = false;
+        let r = self.residue[v as usize];
+        if r < self.epsilon {
+            return;
+        }
+        self.residue[v as usize] = 0.0;
+        self.rank[v as usize] += r;
+        let deg = self.graph.degree(v);
+        if deg == 0 {
+            return;
+        }
+        let share = self.alpha * r / deg as f64;
+        for &w in self.graph.neighbors(v) {
+            let owner = self.partition.owner(w);
+            if owner == pe {
+                let res = &mut self.residue[w as usize];
+                *res += share;
+                if *res >= self.epsilon && !self.in_queue[w as usize] {
+                    self.in_queue[w as usize] = true;
+                    out.push_local(PrTask::Relax(w));
+                }
+            } else {
+                out.push(owner, PrTask::Contrib(w, share as f32));
+            }
+        }
+    }
+
+    fn on_receive(&mut self, pe: usize, task: PrTask) -> Option<PrTask> {
+        match task {
+            PrTask::Contrib(w, c) => {
+                debug_assert_eq!(self.partition.owner(w), pe);
+                let res = &mut self.residue[w as usize];
+                *res += c as f64;
+                if *res >= self.epsilon && !self.in_queue[w as usize] {
+                    self.in_queue[w as usize] = true;
+                    Some(PrTask::Relax(w))
+                } else {
+                    None
+                }
+            }
+            PrTask::Relax(v) => Some(PrTask::Relax(v)),
+        }
+    }
+
+    fn task_edges(&self, task: &PrTask) -> u64 {
+        match task {
+            PrTask::Relax(v) => self.graph.degree(*v) as u64,
+            PrTask::Contrib(..) => 0,
+        }
+    }
+
+    fn task_bytes(&self) -> u64 {
+        8 // vertex id (u32) + contribution (f32)
+    }
+
+    fn converged(&self) -> bool {
+        self.max_residue() < self.epsilon
+    }
+}
+
+/// Result of one PageRank run.
+#[derive(Debug, Clone)]
+pub struct PageRankRun {
+    /// Runtime measurements.
+    pub stats: RunStats,
+    /// Final rank per vertex (unnormalized convention: sums to ≈ n).
+    pub rank: Vec<f64>,
+    /// Relaxations performed (workload measure).
+    pub relaxations: u64,
+}
+
+/// Run asynchronous PageRank under `cfg` on `fabric`.
+pub fn run_pagerank(
+    graph: Arc<Csr>,
+    partition: Arc<Partition>,
+    alpha: f64,
+    epsilon: f64,
+    fabric: Fabric,
+    cfg: AtosConfig,
+) -> PageRankRun {
+    assert_eq!(partition.n_parts(), fabric.n_pes(), "partition/fabric size");
+    let n = graph.n_vertices();
+    let app = PageRankApp::new(graph, partition.clone(), alpha, epsilon);
+    let mut rt = Runtime::new(app, fabric, cfg);
+    for pe in 0..partition.n_parts() {
+        let seeds: Vec<PrTask> = partition
+            .vertices_of(pe)
+            .into_iter()
+            .map(PrTask::Relax)
+            .collect();
+        rt.seed(pe, seeds);
+    }
+    let _ = n;
+    let stats = rt.run();
+    let relaxations = stats.total_tasks();
+    let app = rt.into_app();
+    assert!(
+        app.converged(),
+        "queue drained with residue above epsilon: {}",
+        app.max_residue()
+    );
+    PageRankRun {
+        stats,
+        rank: app.rank,
+        relaxations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atos_graph::generators::{Preset, Scale};
+    use atos_graph::reference;
+
+    const ALPHA: f64 = 0.85;
+    const EPS: f64 = 1e-6;
+
+    fn check_close(g: &Csr, got: &[f64], eps: f64) {
+        let want = reference::pagerank_push(g, ALPHA, eps).rank;
+        let per_vertex = reference::rank_l1(got, &want) / g.n_vertices() as f64;
+        assert!(per_vertex < 1e-3, "per-vertex L1 {per_vertex}");
+    }
+
+    #[test]
+    fn matches_reference_single_pe() {
+        for p in Preset::ALL {
+            let g = Arc::new(p.build(Scale::Tiny));
+            let part = Arc::new(Partition::single(g.n_vertices()));
+            let run = run_pagerank(
+                g.clone(),
+                part,
+                ALPHA,
+                EPS,
+                Fabric::daisy(1),
+                AtosConfig::standard_persistent(),
+            );
+            check_close(&g, &run.rank, EPS);
+        }
+    }
+
+    #[test]
+    fn matches_reference_multi_pe_nvlink() {
+        let p = Preset::by_name("soc-LiveJournal1_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        for n in [2, 4] {
+            let part = Arc::new(Partition::bfs_grow(&g, n, 4));
+            for cfg in [
+                AtosConfig::standard_persistent(),
+                AtosConfig::standard_discrete(),
+            ] {
+                let run = run_pagerank(g.clone(), part.clone(), ALPHA, EPS, Fabric::daisy(n), cfg);
+                check_close(&g, &run.rank, EPS);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_ib_with_aggregator() {
+        let p = Preset::by_name("road_usa_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        for n in [2, 6] {
+            let part = Arc::new(Partition::block(g.n_vertices(), n));
+            let run = run_pagerank(
+                g.clone(),
+                part,
+                ALPHA,
+                EPS,
+                Fabric::ib_cluster(n),
+                AtosConfig::ib_pagerank(),
+            );
+            check_close(&g, &run.rank, EPS);
+        }
+    }
+
+    #[test]
+    fn rank_mass_is_conserved() {
+        // No sinks in the symmetrized graph, so Σrank → n.
+        let p = Preset::by_name("osm_eur_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny).symmetrize());
+        let part = Arc::new(Partition::block(g.n_vertices(), 4));
+        let run = run_pagerank(
+            g.clone(),
+            part,
+            ALPHA,
+            1e-9,
+            Fabric::daisy(4),
+            AtosConfig::standard_persistent(),
+        );
+        let total: f64 = run.rank.iter().sum();
+        let n = g.n_vertices() as f64;
+        assert!((total / n - 1.0).abs() < 1e-3, "mass {total} of {n}");
+    }
+
+    #[test]
+    fn pagerank_has_more_workload_than_bfs() {
+        // Section IV: "on {2,3,4}-GPU configurations, Atos's PageRank has
+        // {10,13,14}x the workload of Atos's BFS" — direction, not factor.
+        let p = Preset::by_name("hollywood_2009_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let part = Arc::new(Partition::bfs_grow(&g, 2, 2));
+        let pr = run_pagerank(
+            g.clone(),
+            part.clone(),
+            ALPHA,
+            EPS,
+            Fabric::daisy(2),
+            AtosConfig::standard_persistent(),
+        );
+        let bfs = crate::bfs::run_bfs(
+            g.clone(),
+            part,
+            p.bfs_source(&g),
+            Fabric::daisy(2),
+            AtosConfig::standard_persistent(),
+        );
+        assert!(pr.stats.total_edges() > 2 * bfs.stats.total_edges());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = Preset::by_name("indochina_2004_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let part = Arc::new(Partition::random(g.n_vertices(), 4, 8));
+        let go = || {
+            run_pagerank(
+                g.clone(),
+                part.clone(),
+                ALPHA,
+                EPS,
+                Fabric::daisy(4),
+                AtosConfig::standard_persistent(),
+            )
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.stats.elapsed_ns, b.stats.elapsed_ns);
+        assert_eq!(a.relaxations, b.relaxations);
+        assert_eq!(a.rank, b.rank);
+    }
+
+    #[test]
+    fn epsilon_trades_work_for_accuracy() {
+        let p = Preset::by_name("soc-LiveJournal1_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let part = Arc::new(Partition::single(g.n_vertices()));
+        let loose = run_pagerank(
+            g.clone(),
+            part.clone(),
+            ALPHA,
+            1e-3,
+            Fabric::daisy(1),
+            AtosConfig::standard_persistent(),
+        );
+        let tight = run_pagerank(
+            g.clone(),
+            part,
+            ALPHA,
+            1e-7,
+            Fabric::daisy(1),
+            AtosConfig::standard_persistent(),
+        );
+        assert!(tight.relaxations > loose.relaxations);
+        assert!(tight.stats.elapsed_ns > loose.stats.elapsed_ns);
+    }
+}

@@ -1,0 +1,237 @@
+//! Asynchronous single-source shortest paths — the canonical client of
+//! the paper's `DistributedPriorityQueues`.
+//!
+//! The priority queue's `threshold` / `threshold_delta` machinery *is*
+//! delta-stepping: tasks (tentative-distance updates) are bucketed by
+//! `distance / delta`, and only buckets below the moving threshold are
+//! eligible. FIFO scheduling relaxes vertices in arrival order and pays
+//! heavily in re-relaxations; priority scheduling approaches Dijkstra's
+//! work efficiency while keeping bucket-level parallelism. The
+//! `ablation_delta` bench sweeps `delta` to reproduce the classic
+//! trade-off (small delta = work-efficient but serial; large = parallel
+//! but speculative).
+
+use std::sync::Arc;
+
+use atos_core::{Application, AtosConfig, Emitter, RunStats, Runtime};
+use atos_graph::csr::{Csr, VertexId};
+use atos_graph::partition::Partition;
+use atos_graph::weights::{EdgeWeights, UNREACHED_DIST};
+use atos_sim::Fabric;
+
+/// SSSP as an Atos application.
+pub struct SsspApp {
+    graph: Arc<Csr>,
+    weights: Arc<EdgeWeights>,
+    partition: Arc<Partition>,
+    /// Tentative distance per vertex.
+    pub dist: Vec<u64>,
+    /// Delta-stepping bucket width for the priority queue.
+    pub delta: u64,
+    source: VertexId,
+}
+
+impl SsspApp {
+    /// New instance from `source` with bucket width `delta`.
+    pub fn new(
+        graph: Arc<Csr>,
+        weights: Arc<EdgeWeights>,
+        partition: Arc<Partition>,
+        source: VertexId,
+        delta: u64,
+    ) -> Self {
+        let n = graph.n_vertices();
+        assert_eq!(partition.n_vertices(), n);
+        let mut dist = vec![UNREACHED_DIST; n];
+        dist[source as usize] = 0;
+        SsspApp {
+            graph,
+            weights,
+            partition,
+            dist,
+            delta: delta.max(1),
+            source,
+        }
+    }
+
+    /// The source vertex.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+}
+
+impl Application for SsspApp {
+    /// `(vertex, tentative distance at push time)`.
+    type Task = (VertexId, u64);
+
+    fn process(&mut self, pe: usize, (v, _pushed): Self::Task, out: &mut Emitter<Self::Task>) {
+        debug_assert_eq!(self.partition.owner(v), pe);
+        let d = self.dist[v as usize];
+        debug_assert_ne!(d, UNREACHED_DIST);
+        for (&w, &wt) in self.graph.neighbors(v).iter().zip(self.weights.of(v)) {
+            let nd = d + wt as u64;
+            if nd < self.dist[w as usize] {
+                // Local atomicMin, or the sender-side one-sided RDMA
+                // atomicMin for remote vertices (same semantics as BFS).
+                self.dist[w as usize] = nd;
+                out.push(self.partition.owner(w), (w, nd));
+            }
+        }
+    }
+
+    fn on_receive(&mut self, pe: usize, (w, nd): Self::Task) -> Option<Self::Task> {
+        debug_assert_eq!(self.partition.owner(w), pe);
+        if nd <= self.dist[w as usize] {
+            Some((w, nd))
+        } else {
+            None
+        }
+    }
+
+    fn priority(&self, (_, d): &Self::Task) -> u32 {
+        (d / self.delta).min(u32::MAX as u64) as u32
+    }
+
+    fn task_edges(&self, (v, _): &Self::Task) -> u64 {
+        self.graph.degree(*v) as u64
+    }
+
+    fn task_bytes(&self) -> u64 {
+        12 // vertex id + 64-bit distance
+    }
+}
+
+/// Result of one SSSP run.
+#[derive(Debug, Clone)]
+pub struct SsspRun {
+    /// Runtime measurements.
+    pub stats: RunStats,
+    /// Final distances.
+    pub dist: Vec<u64>,
+    /// Reached vertex count (ideal relaxation count lower bound).
+    pub reachable: u64,
+}
+
+impl SsspRun {
+    /// Relaxations per reached vertex (1.0 = Dijkstra-optimal).
+    pub fn work_efficiency(&self) -> f64 {
+        if self.reachable == 0 {
+            return 0.0;
+        }
+        self.stats.total_tasks() as f64 / self.reachable as f64
+    }
+}
+
+/// Run asynchronous SSSP under `cfg`; `delta` is the priority bucket
+/// width (ignored by FIFO configurations).
+pub fn run_sssp(
+    graph: Arc<Csr>,
+    weights: Arc<EdgeWeights>,
+    partition: Arc<Partition>,
+    source: VertexId,
+    delta: u64,
+    fabric: Fabric,
+    cfg: AtosConfig,
+) -> SsspRun {
+    assert_eq!(partition.n_parts(), fabric.n_pes());
+    let app = SsspApp::new(graph, weights, partition.clone(), source, delta);
+    let mut rt = Runtime::new(app, fabric, cfg);
+    rt.seed(partition.owner(source), [(source, 0u64)]);
+    let stats = rt.run();
+    let app = rt.into_app();
+    let reachable = app.dist.iter().filter(|&&d| d != UNREACHED_DIST).count() as u64;
+    SsspRun {
+        stats,
+        dist: app.dist,
+        reachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atos_graph::generators::{Preset, Scale};
+    use atos_graph::weights::dijkstra;
+
+    fn check(
+        g: &Arc<Csr>,
+        w: &Arc<EdgeWeights>,
+        src: VertexId,
+        n_pes: usize,
+        cfg: AtosConfig,
+        delta: u64,
+    ) -> SsspRun {
+        let part = Arc::new(if n_pes == 1 {
+            Partition::single(g.n_vertices())
+        } else {
+            Partition::bfs_grow(g, n_pes, 3)
+        });
+        let run = run_sssp(
+            g.clone(),
+            w.clone(),
+            part,
+            src,
+            delta,
+            Fabric::daisy(n_pes),
+            cfg,
+        );
+        assert_eq!(run.dist, dijkstra(g, w, src), "distances must be exact");
+        run
+    }
+
+    #[test]
+    fn matches_dijkstra_all_presets() {
+        for p in Preset::ALL {
+            let g = Arc::new(p.build(Scale::Tiny));
+            let w = Arc::new(EdgeWeights::random(&g, 16, 9));
+            let src = p.bfs_source(&g);
+            check(&g, &w, src, 1, AtosConfig::standard_persistent(), 4);
+            check(&g, &w, src, 4, AtosConfig::standard_persistent(), 4);
+            check(&g, &w, src, 4, AtosConfig::priority_discrete(), 4);
+        }
+    }
+
+    #[test]
+    fn priority_scheduling_is_more_work_efficient() {
+        let p = Preset::by_name("twitter_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let w = Arc::new(EdgeWeights::random(&g, 64, 1));
+        let src = p.bfs_source(&g);
+        let fifo = check(&g, &w, src, 4, AtosConfig::standard_persistent(), 1);
+        let prio = check(&g, &w, src, 4, AtosConfig::priority_discrete(), 1);
+        assert!(
+            prio.work_efficiency() <= fifo.work_efficiency() + 1e-9,
+            "priority {} vs fifo {}",
+            prio.work_efficiency(),
+            fifo.work_efficiency()
+        );
+        assert!(fifo.work_efficiency() >= 1.0);
+    }
+
+    #[test]
+    fn unit_weights_reduce_to_bfs() {
+        let p = Preset::by_name("road_usa_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let w = Arc::new(EdgeWeights::unit(&g));
+        let src = p.bfs_source(&g);
+        let run = check(&g, &w, src, 2, AtosConfig::standard_persistent(), 1);
+        let depths = atos_graph::reference::bfs(&g, src);
+        for v in 0..g.n_vertices() {
+            if depths[v] != u32::MAX {
+                assert_eq!(run.dist[v], depths[v] as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = Preset::by_name("soc-LiveJournal1_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let w = Arc::new(EdgeWeights::random(&g, 16, 2));
+        let src = p.bfs_source(&g);
+        let a = check(&g, &w, src, 3, AtosConfig::priority_discrete(), 8);
+        let b = check(&g, &w, src, 3, AtosConfig::priority_discrete(), 8);
+        assert_eq!(a.stats.elapsed_ns, b.stats.elapsed_ns);
+        assert_eq!(a.stats.total_tasks(), b.stats.total_tasks());
+    }
+}

@@ -1,0 +1,188 @@
+//! Groute-like asynchronous baseline.
+//!
+//! Groute (Ben-Nun et al., PPoPP'17) runs the same asynchronous worklist
+//! algorithms as Atos — the paper: "Groute and Atos use the same algorithm
+//! (asynchronous BFS) and kernel strategy (persistent kernel), so these
+//! factors do not contribute to the performance difference. ... Atos's
+//! performance advantage comes from its lower communication latency. Why?
+//! Atos sends communication immediately when communication data is
+//! available. This stands in contrast to Groute's control path, which
+//! passes through the CPU."
+//!
+//! Accordingly this baseline reuses the Atos runtime and applications with
+//! exactly two framework substitutions:
+//!
+//! * [`ControlPath::cpu_mediated`] — every transfer is prepared and
+//!   triggered by the host;
+//! * kernel-boundary communication (`in_kernel_comm = false`) — data
+//!   generated during a scheduling round leaves only when the round's
+//!   kernel completes, in medium-grained fragments (Groute's pipelined
+//!   router chunks).
+
+use std::sync::Arc;
+
+use atos_apps::bfs::{BfsApp, BfsRun};
+use atos_apps::pagerank::{PageRankApp, PageRankRun, PrTask};
+use atos_core::{AtosConfig, CommMode, KernelMode, QueueMode, Runtime, RuntimeTuning, WorkerConfig};
+use atos_graph::csr::{Csr, VertexId};
+use atos_graph::partition::Partition;
+use atos_sim::{ControlPath, Fabric, GpuCostModel};
+
+/// Groute's router moves data in pipelined fragments of a few thousand
+/// items rather than per-warp messages.
+const GROUTE_FRAGMENT_TASKS: usize = 1024;
+
+fn groute_config() -> AtosConfig {
+    AtosConfig {
+        kernel: KernelMode::Persistent,
+        queue: QueueMode::Standard,
+        worker: WorkerConfig::cta512(),
+        comm: CommMode::Direct {
+            group: GROUTE_FRAGMENT_TASKS,
+        },
+    }
+}
+
+fn groute_tuning() -> RuntimeTuning {
+    RuntimeTuning {
+        control: ControlPath::cpu_mediated(),
+        in_kernel_comm: false,
+        round_metadata_bytes: 0,
+        metadata_cpu_ns_per_byte: 0.0,
+    }
+}
+
+/// Groute-like asynchronous BFS.
+pub fn groute_bfs(
+    graph: Arc<Csr>,
+    partition: Arc<Partition>,
+    source: VertexId,
+    fabric: Fabric,
+) -> BfsRun {
+    assert_eq!(partition.n_parts(), fabric.n_pes());
+    let app = BfsApp::new(graph, partition.clone(), source);
+    let mut rt = Runtime::with_tuning(
+        app,
+        fabric,
+        groute_config(),
+        GpuCostModel::v100(),
+        groute_tuning(),
+    );
+    rt.seed(partition.owner(source), [(source, 0u32)]);
+    let stats = rt.run();
+    let app = rt.into_app();
+    let reachable = app.reached() as u64;
+    BfsRun {
+        stats,
+        depth: app.depth,
+        reachable,
+    }
+}
+
+/// Groute-like asynchronous push PageRank.
+pub fn groute_pagerank(
+    graph: Arc<Csr>,
+    partition: Arc<Partition>,
+    alpha: f64,
+    epsilon: f64,
+    fabric: Fabric,
+) -> PageRankRun {
+    assert_eq!(partition.n_parts(), fabric.n_pes());
+    let app = PageRankApp::new(graph, partition.clone(), alpha, epsilon);
+    let mut rt = Runtime::with_tuning(
+        app,
+        fabric,
+        groute_config(),
+        GpuCostModel::v100(),
+        groute_tuning(),
+    );
+    for pe in 0..partition.n_parts() {
+        let seeds: Vec<PrTask> = partition
+            .vertices_of(pe)
+            .into_iter()
+            .map(PrTask::Relax)
+            .collect();
+        rt.seed(pe, seeds);
+    }
+    let stats = rt.run();
+    let relaxations = stats.total_tasks();
+    let app = rt.into_app();
+    PageRankRun {
+        stats,
+        rank: app.rank,
+        relaxations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atos_apps::bfs::run_bfs;
+    use atos_graph::generators::{Preset, Scale};
+    use atos_graph::reference;
+
+    #[test]
+    fn groute_bfs_matches_reference() {
+        for p in Preset::ALL {
+            let g = Arc::new(p.build(Scale::Tiny));
+            let src = p.bfs_source(&g);
+            let part = Arc::new(Partition::bfs_grow(&g, 2, 1));
+            let run = groute_bfs(g.clone(), part, src, Fabric::daisy(2));
+            assert_eq!(run.depth, reference::bfs(&g, src), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn groute_pagerank_matches_reference() {
+        let p = Preset::by_name("road_usa_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let part = Arc::new(Partition::block(g.n_vertices(), 4));
+        let run = groute_pagerank(g.clone(), part, 0.85, 1e-6, Fabric::daisy(4));
+        let want = reference::pagerank_push(&g, 0.85, 1e-6).rank;
+        let per_vertex = reference::rank_l1(&run.rank, &want) / g.n_vertices() as f64;
+        assert!(per_vertex < 1e-3, "per-vertex L1 {per_vertex}");
+    }
+
+    #[test]
+    fn atos_beats_groute_on_latency_bound_mesh() {
+        // Table II mesh rows: same algorithm, but Groute's CPU control
+        // path slows the depth wave at every partition boundary.
+        let p = Preset::by_name("osm_eur_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let src = p.bfs_source(&g);
+        let part = Arc::new(Partition::bfs_grow(&g, 4, 2));
+        let atos = run_bfs(
+            g.clone(),
+            part.clone(),
+            src,
+            Fabric::daisy(4),
+            AtosConfig::standard_persistent(),
+        );
+        let groute = groute_bfs(g, part, src, Fabric::daisy(4));
+        assert_eq!(atos.depth, groute.depth);
+        assert!(
+            atos.stats.elapsed_ns < groute.stats.elapsed_ns,
+            "Atos {} ms vs Groute {} ms",
+            atos.stats.elapsed_ms(),
+            groute.stats.elapsed_ms()
+        );
+    }
+
+    #[test]
+    fn groute_sends_fewer_larger_messages_than_atos() {
+        let p = Preset::by_name("twitter_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let src = p.bfs_source(&g);
+        let part = Arc::new(Partition::random(g.n_vertices(), 4, 4));
+        let atos = run_bfs(
+            g.clone(),
+            part.clone(),
+            src,
+            Fabric::daisy(4),
+            AtosConfig::standard_persistent(),
+        );
+        let groute = groute_bfs(g, part, src, Fabric::daisy(4));
+        assert!(groute.stats.messages < atos.stats.messages);
+        assert!(groute.stats.mean_message_bytes() > atos.stats.mean_message_bytes());
+    }
+}

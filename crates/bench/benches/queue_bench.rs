@@ -1,0 +1,28 @@
+//! Criterion benchmarks for the Figure 1 queue comparison — wall-clock
+//! time of the three contention experiments across the five queue
+//! configurations, on real host threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use atos_queue::bench_harness::{run, Experiment, QueueKind};
+
+fn bench_queues(c: &mut Criterion) {
+    // Virtual-thread count representative of a busy GPU; the fig1_queue
+    // binary sweeps the full range.
+    const N: usize = 1 << 14;
+    for exp in Experiment::ALL {
+        let mut group = c.benchmark_group(exp.label().replace(' ', "_"));
+        group.sample_size(10);
+        for kind in QueueKind::ALL {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(kind.label().replace(' ', "_")),
+                &kind,
+                |b, &kind| b.iter(|| run(kind, exp, N)),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_queues);
+criterion_main!(benches);

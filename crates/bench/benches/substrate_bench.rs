@@ -1,0 +1,75 @@
+//! Criterion benchmarks for the substrates themselves (host wall-clock):
+//! graph generation, CSR construction, partitioning, the event engine,
+//! and end-to-end simulated runs at test scale. These guard against
+//! performance regressions in the simulator — the virtual-time results in
+//! the tables are only cheap to regenerate if the simulator stays fast.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use atos_apps::bfs::run_bfs;
+use atos_core::AtosConfig;
+use atos_graph::generators::{rmat, Preset, Scale};
+use atos_graph::partition::Partition;
+use atos_sim::{Engine, Fabric};
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("rmat_scale14_200k_edges", |b| {
+        b.iter(|| rmat(14, 200_000, (0.57, 0.19, 0.19, 0.05), 1))
+    });
+    c.bench_function("road_network_128x128", |b| {
+        b.iter(|| atos_graph::generators::road_network(128, 128, 1))
+    });
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g = rmat(14, 200_000, (0.57, 0.19, 0.19, 0.05), 1);
+    c.bench_function("partition_bfs_grow_4", |b| {
+        b.iter(|| Partition::bfs_grow(&g, 4, 1))
+    });
+    c.bench_function("partition_random_4", |b| {
+        b.iter(|| Partition::random(g.n_vertices(), 4, 1))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_100k_events", |b| {
+        b.iter(|| {
+            let mut e = Engine::new();
+            for i in 0..100_000u64 {
+                e.schedule_at(i % 977, i);
+            }
+            let mut n = 0u64;
+            while e.pop().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let p = Preset::by_name("soc-LiveJournal1_s").unwrap();
+    let g = Arc::new(p.build(Scale::Tiny));
+    let src = p.bfs_source(&g);
+    let part = Arc::new(Partition::bfs_grow(&g, 4, 1));
+    c.bench_function("sim_bfs_tiny_4gpu_persistent", |b| {
+        b.iter(|| {
+            run_bfs(
+                g.clone(),
+                part.clone(),
+                src,
+                Fabric::daisy(4),
+                AtosConfig::standard_persistent(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generators, bench_partitioners, bench_engine, bench_end_to_end
+}
+criterion_main!(benches);

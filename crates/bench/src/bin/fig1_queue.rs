@@ -1,0 +1,43 @@
+//! Figure 1: runtime of concurrent push / pop / pop-and-push vs. thread
+//! count for our counter queue (warp and CTA workers), the broker queue,
+//! and the CAS queue (warp and CTA).
+//!
+//! This is the one experiment that runs on *real host threads and
+//! atomics*, not the simulator — the queue algorithms are memory-model
+//! constructs and their contention behavior is measured directly.
+
+use atos_queue::bench_harness::{run, Experiment, QueueKind, OPS_PER_VIRTUAL_THREAD};
+
+fn main() {
+    atos_bench::pipe_friendly();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let points: Vec<usize> = if quick {
+        vec![1 << 10, 1 << 13]
+    } else {
+        vec![1 << 10, 1 << 12, 1 << 14, 1 << 15, 1 << 16, 96 * 1024, 128 * 1024]
+    };
+    println!(
+        "Figure 1: queue microbenchmarks ({} ops per virtual thread)",
+        OPS_PER_VIRTUAL_THREAD
+    );
+    for exp in Experiment::ALL {
+        println!("\n== {} ==", exp.label());
+        print!("{:<18}", "#threads");
+        for kind in QueueKind::ALL {
+            print!("{:>18}", kind.label());
+        }
+        println!();
+        for &n in &points {
+            print!("{n:<18}");
+            for kind in QueueKind::ALL {
+                // Median of 3 to damp scheduler noise.
+                let mut ts: Vec<f64> = (0..3)
+                    .map(|_| run(kind, exp, n).elapsed.as_secs_f64() * 1e3)
+                    .collect();
+                ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                print!("{:>18}", format!("{:.3} ms", ts[1]));
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Figure 2: bandwidth efficiency (fraction of wire bytes that are
+//! payload) vs. requested bytes, on PCIe gen 3 and NVLink.
+
+use atos_sim::packet::{figure2_series, PacketModel};
+
+fn main() {
+    atos_bench::pipe_friendly();
+    println!("Figure 2: bandwidth efficiency vs requested bytes");
+    println!("{:<18}{:>14}{:>14}", "requested bytes", "PCIe gen 3", "NVLink");
+    let pcie = figure2_series(PacketModel::PcieGen3);
+    let nv = figure2_series(PacketModel::NvLink);
+    for (p, n) in pcie.iter().zip(&nv) {
+        assert_eq!(p.0, n.0);
+        println!(
+            "{:<18}{:>13.1}%{:>13.1}%",
+            p.0,
+            p.1 * 100.0,
+            n.1 * 100.0
+        );
+    }
+}

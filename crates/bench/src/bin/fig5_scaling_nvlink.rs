@@ -1,0 +1,51 @@
+//! Figure 5: strong scaling of BFS (left) and PageRank (right) on four
+//! datasets on the NVLink system. Each framework's speedup is relative to
+//! its own single-GPU runtime (self-to-self).
+
+use atos_bench::{
+    bfs_nvlink_ms, pr_nvlink_ms, relative_speedup, scale_from_args, Dataset,
+    BFS_NVLINK_FRAMEWORKS, PR_NVLINK_FRAMEWORKS,
+};
+use atos_graph::generators::Preset;
+
+fn main() {
+    let scale = scale_from_args();
+    let gpus = [1usize, 2, 3, 4];
+    let datasets: Vec<Dataset> = Preset::SCALING
+        .iter()
+        .map(|n| Dataset::build(Preset::by_name(n).unwrap(), scale))
+        .collect();
+
+    for (app, frameworks) in [
+        ("BFS", BFS_NVLINK_FRAMEWORKS.as_slice()),
+        ("PageRank", PR_NVLINK_FRAMEWORKS.as_slice()),
+    ] {
+        println!("\nFigure 5 ({app}): relative speedup vs own 1-GPU runtime");
+        for ds in &datasets {
+            println!("\n-- {} --", ds.preset.name);
+            print!("{:<40}", "framework");
+            for g in gpus {
+                print!("{:>10}", format!("{g} GPU"));
+            }
+            println!();
+            for fw in frameworks {
+                let ms: Vec<f64> = gpus
+                    .iter()
+                    .map(|&g| {
+                        if app == "BFS" {
+                            bfs_nvlink_ms(fw, ds, g)
+                        } else {
+                            pr_nvlink_ms(fw, ds, g)
+                        }
+                    })
+                    .collect();
+                let rel = relative_speedup(&ms);
+                print!("{fw:<40}");
+                for r in rel {
+                    print!("{r:>10.2}");
+                }
+                println!();
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Figures 6 & 7: latency tolerance across NVLink topologies.
+//!
+//! Figure 6 contrasts the all-to-all Daisy topology with a Summit node's
+//! dual-socket layout, where cross-socket traffic pays X-bus latency.
+//! Figure 7 strong-scales Gunrock vs Atos on one Summit node (1–6 GPUs)
+//! for BFS (soc-LiveJournal1, indochina) and PageRank (same), showing
+//! Gunrock's scaling collapse beyond 3 GPUs and Atos's latency tolerance.
+
+use std::sync::Arc;
+
+use atos_apps::bfs::run_bfs;
+use atos_apps::pagerank::run_pagerank;
+use atos_baselines::{bsp_bfs, bsp_pagerank};
+use atos_bench::{relative_speedup, scale_from_args, Dataset, ALPHA, EPSILON};
+use atos_core::AtosConfig;
+use atos_graph::generators::Preset;
+use atos_graph::partition::Partition;
+use atos_sim::Fabric;
+
+fn main() {
+    let scale = scale_from_args();
+    let gpus = [1usize, 2, 3, 4, 5, 6];
+    let names = ["soc-LiveJournal1_s", "indochina_2004_s"];
+    println!("Figure 7: strong scaling on one Summit node (dual-socket NVLink)");
+    println!("(Figure 6's two topologies are Fabric::daisy and Fabric::summit_node.)");
+
+    for name in names {
+        let ds = Dataset::build(Preset::by_name(name).unwrap(), scale);
+        for app in ["BFS", "PageRank"] {
+            println!("\n-- {app}-{name} --");
+            print!("{:<22}", "framework");
+            for g in gpus {
+                print!("{:>10}", format!("{g} GPU"));
+            }
+            println!();
+            for fw in ["Gunrock", "Atos"] {
+                let ms: Vec<f64> = gpus
+                    .iter()
+                    .map(|&g| {
+                        let part = if g == 1 {
+                            Arc::new(Partition::single(ds.graph.n_vertices()))
+                        } else {
+                            Arc::new(Partition::bfs_grow(&ds.graph, g, 42))
+                        };
+                        let fabric = Fabric::summit_node(g);
+                        match (fw, app) {
+                            ("Gunrock", "BFS") => {
+                                bsp_bfs(ds.graph.clone(), part, ds.source, fabric)
+                                    .stats
+                                    .elapsed_ms()
+                            }
+                            ("Gunrock", _) => {
+                                bsp_pagerank(ds.graph.clone(), part, ALPHA, EPSILON, fabric)
+                                    .stats
+                                    .elapsed_ms()
+                            }
+                            ("Atos", "BFS") => run_bfs(
+                                ds.graph.clone(),
+                                part,
+                                ds.source,
+                                fabric,
+                                AtosConfig::priority_discrete(),
+                            )
+                            .stats
+                            .elapsed_ms(),
+                            ("Atos", _) => run_pagerank(
+                                ds.graph.clone(),
+                                part,
+                                ALPHA,
+                                EPSILON,
+                                fabric,
+                                AtosConfig::standard_discrete(),
+                            )
+                            .stats
+                            .elapsed_ms(),
+                            _ => unreachable!(),
+                        }
+                    })
+                    .collect();
+                let rel = relative_speedup(&ms);
+                print!("{fw:<22}");
+                for r in rel {
+                    print!("{r:>10.2}");
+                }
+                println!();
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 9: strong scaling of PageRank on four datasets on the 8-node
+//! InfiniBand system (speedup relative to each framework's own 1-GPU
+//! runtime).
+
+use atos_bench::{ib_ms, relative_speedup, scale_from_args, Dataset};
+use atos_graph::generators::Preset;
+
+fn main() {
+    let scale = scale_from_args();
+    let gpus = [1usize, 2, 3, 4, 5, 6, 7, 8];
+    println!("Figure 9: PageRank strong scaling on Summit (IB), self-relative");
+    for name in Preset::SCALING {
+        let ds = Dataset::build(Preset::by_name(name).unwrap(), scale);
+        println!("\n-- {} --", ds.preset.name);
+        print!("{:<10}", "framework");
+        for g in gpus {
+            print!("{:>8}", format!("{g}GPU"));
+        }
+        println!();
+        for fw in ["Galois", "Atos"] {
+            let ms: Vec<f64> = gpus.iter().map(|&g| ib_ms(fw, "pr", &ds, g)).collect();
+            print!("{fw:<10}");
+            for r in relative_speedup(&ms) {
+                print!("{r:>8.2}");
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Table I: summary of the datasets used in the experiments.
+//!
+//! Prints vertex/edge counts, estimated diameter, degree extremes, and the
+//! structural family for each scaled preset, to be compared against the
+//! paper's Table I originals (EXPERIMENTS.md holds the side-by-side).
+
+use atos_bench::{scale_from_args, Dataset};
+use atos_graph::stats::stats;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table I: summary of the datasets (scaled presets, {scale:?})");
+    println!(
+        "{:<22}{:>10}{:>12}{:>8}{:>12}{:>12}{:>8}  type",
+        "Dataset", "Vertices", "Edges", "Diam.", "Max indeg", "Max outdeg", "Avg",
+    );
+    for ds in Dataset::all(scale) {
+        let s = stats(&ds.graph);
+        println!(
+            "{:<22}{:>10}{:>12}{:>8}{:>12}{:>12}{:>8.1}  {}",
+            ds.preset.name,
+            s.vertices,
+            s.edges,
+            s.diameter_est,
+            s.max_in_degree,
+            s.max_out_degree,
+            s.avg_degree,
+            match ds.preset.kind {
+                atos_graph::generators::GraphKind::ScaleFree => "scale-free",
+                atos_graph::generators::GraphKind::MeshLike => "mesh-like",
+            }
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Table II: BFS runtimes in ms (speedup vs. Gunrock in parentheses) on
+//! Daisy (NVLink), 1–4 GPUs, four frameworks × six datasets.
+
+use atos_bench::{bfs_nvlink_ms, print_table_block, scale_from_args, Dataset, BFS_NVLINK_FRAMEWORKS};
+
+fn main() {
+    let scale = scale_from_args();
+    let datasets = Dataset::all(scale);
+    let gpus = [1usize, 2, 3, 4];
+
+    let mut matrices: Vec<Vec<(String, Vec<f64>)>> = Vec::new();
+    for fw in BFS_NVLINK_FRAMEWORKS {
+        let rows: Vec<(String, Vec<f64>)> = datasets
+            .iter()
+            .map(|ds| {
+                let ms: Vec<f64> = gpus.iter().map(|&g| bfs_nvlink_ms(fw, ds, g)).collect();
+                (
+                    format!("{}{}", ds.preset.name, ds.preset.kind.suffix()),
+                    ms,
+                )
+            })
+            .collect();
+        matrices.push(rows);
+    }
+
+    println!("Table II: BFS runtimes in ms (speedup vs Gunrock) on Daisy (NVLink)");
+    let gunrock = matrices[0].clone();
+    for (i, fw) in BFS_NVLINK_FRAMEWORKS.iter().enumerate() {
+        let base = if i == 0 { None } else { Some(gunrock.as_slice()) };
+        print_table_block(&format!("BFS on {fw}"), &gpus, &matrices[i], base);
+    }
+}

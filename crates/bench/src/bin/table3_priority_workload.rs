@@ -1,0 +1,55 @@
+//! Table III: normalized BFS workload without → with the priority queue.
+//!
+//! Counts total vertex visits normalized by an ideal traversal that visits
+//! each reachable vertex exactly once, for the scale-free datasets on 1–4
+//! NVLink GPUs. The paper's claim: speculation causes redundant work that
+//! grows with GPU count, and depth-ordered priority scheduling reduces it.
+
+use atos_apps::bfs::run_bfs;
+use atos_bench::{scale_from_args, Dataset};
+use atos_core::AtosConfig;
+use atos_graph::generators::GraphKind;
+use atos_sim::Fabric;
+
+fn main() {
+    let scale = scale_from_args();
+    let gpus = [1usize, 2, 3, 4];
+    println!("Table III: normalized workload without -> with priority queue");
+    print!("{:<22}", "Dataset");
+    for g in gpus {
+        print!("{:>18}", format!("{g} GPU{}", if g > 1 { "s" } else { "" }));
+    }
+    println!();
+    for ds in Dataset::all(scale) {
+        if ds.preset.kind != GraphKind::ScaleFree {
+            continue;
+        }
+        print!("{:<22}", ds.preset.name);
+        for g in gpus {
+            let part = ds.partition(g);
+            let fifo = run_bfs(
+                ds.graph.clone(),
+                part.clone(),
+                ds.source,
+                Fabric::daisy(g),
+                AtosConfig::standard_persistent(),
+            );
+            let prio = run_bfs(
+                ds.graph.clone(),
+                part,
+                ds.source,
+                Fabric::daisy(g),
+                AtosConfig::priority_discrete(),
+            );
+            print!(
+                "{:>18}",
+                format!(
+                    "{:.3} -> {:.3}",
+                    fifo.normalized_workload(),
+                    prio.normalized_workload()
+                )
+            );
+        }
+        println!();
+    }
+}

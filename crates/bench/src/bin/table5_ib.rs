@@ -1,0 +1,31 @@
+//! Table V: BFS and PageRank runtimes in ms (speedups vs. Galois) on
+//! Summit (InfiniBand), one GPU per node, 1–8 GPUs.
+
+use atos_bench::{ib_ms, print_table_block, scale_from_args, Dataset};
+
+fn main() {
+    let scale = scale_from_args();
+    let datasets = Dataset::all(scale);
+    let gpus = [1usize, 2, 3, 4, 5, 6, 7, 8];
+
+    println!("Table V: BFS and PageRank runtimes in ms (speedups vs Galois) on Summit (IB)");
+    for app in ["bfs", "pr"] {
+        let title = if app == "bfs" { "BFS" } else { "PageRank" };
+        let mut galois_rows = Vec::new();
+        let mut atos_rows = Vec::new();
+        for ds in &datasets {
+            let label = format!("{}{}", ds.preset.name, ds.preset.kind.suffix());
+            let gms: Vec<f64> = gpus.iter().map(|&g| ib_ms("Galois", app, ds, g)).collect();
+            let ams: Vec<f64> = gpus.iter().map(|&g| ib_ms("Atos", app, ds, g)).collect();
+            galois_rows.push((label.clone(), gms));
+            atos_rows.push((label, ams));
+        }
+        print_table_block(&format!("{title} on Galois"), &gpus, &galois_rows, None);
+        print_table_block(
+            &format!("{title} on Atos"),
+            &gpus,
+            &atos_rows,
+            Some(&galois_rows),
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! The communication aggregator (Section III-A.3, Figure 3).
+//!
+//! On InfiniBand, fine-grained one-sided messages waste bandwidth and NIC
+//! message rate, so Atos interposes an aggregator that "runs transparently
+//! alongside application code": workers push messages into per-destination
+//! accumulation buffers and return immediately; a persistent aggregator
+//! worker monitors accumulation and writes a bundle to the remote GPU's
+//! distributed queue when either
+//!
+//! * the bundle reaches `BATCH_SIZE` bytes (1 MiB in the paper — the knee
+//!   of the Figure 4 latency/bandwidth trade-off), or
+//! * the aggregator has polled `WAIT_TIME` times since the bundle opened
+//!   (the eager-mode escape hatch for latency-bound phases).
+//!
+//! This module is pure policy + buffering; the runtime owns the clock and
+//! the actual sends.
+
+use atos_sim::Time;
+
+use crate::config::AGGREGATOR_POLL_NS;
+
+/// Per-destination accumulation buffer.
+#[derive(Debug)]
+pub struct AggBuffer<T> {
+    /// Destination PE.
+    pub dst: usize,
+    items: Vec<T>,
+    bytes: u64,
+    opened_at: Option<Time>,
+}
+
+impl<T> AggBuffer<T> {
+    /// Empty buffer for destination `dst`.
+    pub fn new(dst: usize) -> Self {
+        AggBuffer {
+            dst,
+            items: Vec::new(),
+            bytes: 0,
+            opened_at: None,
+        }
+    }
+
+    /// Append one task of `task_bytes` at time `now`.
+    pub fn push(&mut self, task: T, task_bytes: u64, now: Time) {
+        if self.items.is_empty() {
+            self.opened_at = Some(now);
+        }
+        self.items.push(task);
+        self.bytes += task_bytes;
+    }
+
+    /// Accumulated payload bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Accumulated task count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Time the oldest unsent item was enqueued.
+    pub fn opened_at(&self) -> Option<Time> {
+        self.opened_at
+    }
+
+    /// Whether the flush policy triggers at time `now`.
+    ///
+    /// `WAIT_TIME` counts aggregator polls ("After WAIT_TIME visits, the
+    /// data is sent out, whether it meets the maximum message size or
+    /// not"), so the age limit is `wait_time × AGGREGATOR_POLL_NS`.
+    pub fn should_flush(&self, now: Time, batch_bytes: u64, wait_time: u32) -> bool {
+        if self.items.is_empty() {
+            return false;
+        }
+        if self.bytes >= batch_bytes {
+            return true;
+        }
+        let age_limit = wait_time as u64 * AGGREGATOR_POLL_NS;
+        match self.opened_at {
+            Some(t0) => now.saturating_sub(t0) >= age_limit,
+            None => false,
+        }
+    }
+
+    /// Earliest time the age trigger can fire (for scheduling the next
+    /// aggregator poll); `None` when empty.
+    pub fn age_deadline(&self, wait_time: u32) -> Option<Time> {
+        self.opened_at
+            .map(|t0| t0 + wait_time as u64 * AGGREGATOR_POLL_NS)
+    }
+
+    /// Take the bundle: returns `(tasks, payload_bytes)` and resets.
+    pub fn flush(&mut self) -> (Vec<T>, u64) {
+        let bytes = self.bytes;
+        self.bytes = 0;
+        self.opened_at = None;
+        (std::mem::take(&mut self.items), bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_trigger() {
+        let mut b = AggBuffer::new(1);
+        for i in 0..100u32 {
+            b.push(i, 8, 10);
+        }
+        assert_eq!(b.bytes(), 800);
+        assert!(b.should_flush(10, 800, 1000));
+        assert!(!b.should_flush(10, 801, 1000));
+    }
+
+    #[test]
+    fn age_trigger() {
+        let mut b = AggBuffer::new(0);
+        b.push(7u32, 8, 1_000);
+        let wait = 4u32;
+        let deadline = 1_000 + wait as u64 * AGGREGATOR_POLL_NS;
+        assert_eq!(b.age_deadline(wait), Some(deadline));
+        assert!(!b.should_flush(deadline - 1, u64::MAX, wait));
+        assert!(b.should_flush(deadline, u64::MAX, wait));
+    }
+
+    #[test]
+    fn flush_resets_and_reopens() {
+        let mut b = AggBuffer::new(2);
+        b.push(1u8, 4, 50);
+        b.push(2, 4, 60);
+        let (items, bytes) = b.flush();
+        assert_eq!(items, vec![1, 2]);
+        assert_eq!(bytes, 8);
+        assert!(b.is_empty());
+        assert_eq!(b.opened_at(), None);
+        // Reopening stamps a fresh age.
+        b.push(3, 4, 900);
+        assert_eq!(b.opened_at(), Some(900));
+    }
+
+    #[test]
+    fn empty_buffer_never_flushes() {
+        let b: AggBuffer<u8> = AggBuffer::new(0);
+        assert!(!b.should_flush(1 << 40, 0, 0));
+        assert_eq!(b.age_deadline(4), None);
+    }
+
+    #[test]
+    fn eager_mode_is_low_wait_time() {
+        // "Programmers can thus utilize an eager mode that minimizes
+        // latency by setting the wait time to be very low."
+        let mut b = AggBuffer::new(0);
+        b.push(1u8, 8, 0);
+        assert!(b.should_flush(AGGREGATOR_POLL_NS, u64::MAX, 1));
+        assert!(!b.should_flush(AGGREGATOR_POLL_NS, u64::MAX, 1000));
+    }
+}

@@ -1,0 +1,65 @@
+//! The application interface: tasks, their processing function, and their
+//! cost/priority annotations.
+//!
+//! This is the Rust rendering of the paper's framework API (Listing 4):
+//! the application provides `f1` (process a popped task — [`Application::
+//! process`]) and `f2` (what to do on pop failure — [`Application::
+//! on_idle`]); the runtime owns popping, pushing, and communication.
+
+use crate::emitter::Emitter;
+
+/// What a PE's idle handler did (the `f2` path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IdleOutcome {
+    /// Nothing to add; the PE may go idle.
+    Quiescent,
+    /// New work was emitted; keep scheduling.
+    Refilled,
+}
+
+/// An Atos application: defines the task type, how tasks are processed,
+/// and the annotations (cost, priority, size) the runtime needs.
+pub trait Application {
+    /// The unit of work flowing through the distributed queues. `Copy`
+    /// mirrors the paper's queues of plain vertex ids / id+payload tuples.
+    type Task: Copy + Send + std::fmt::Debug;
+
+    /// Process one popped task on PE `pe` (the paper's `f1`), emitting new
+    /// tasks. Runs inside the simulated kernel; mutating real application
+    /// state here is what makes runs checkable.
+    fn process(&mut self, pe: usize, task: Self::Task, out: &mut Emitter<Self::Task>);
+
+    /// Apply a task arriving from a remote PE *before* it is enqueued:
+    /// this is where one-sided remote updates (the paper's RDMA
+    /// `atomicMin`) take effect. Return `Some(task)` to enqueue work at
+    /// the destination, `None` to drop it (e.g. the remote atomic did not
+    /// improve the value, or a PageRank contribution did not cross the
+    /// threshold).
+    fn on_receive(&mut self, pe: usize, task: Self::Task) -> Option<Self::Task>;
+
+    /// Pop-failure handler (the paper's `f2`, default noop). May emit new
+    /// work (e.g. PageRank's rescan for unconverged vertices).
+    fn on_idle(&mut self, _pe: usize, _out: &mut Emitter<Self::Task>) -> IdleOutcome {
+        IdleOutcome::Quiescent
+    }
+
+    /// Priority bucket of a task (lower = sooner). Only consulted by
+    /// priority-queue configurations.
+    fn priority(&self, _task: &Self::Task) -> u32 {
+        0
+    }
+
+    /// Edges (cost-model work units) this task will expand.
+    fn task_edges(&self, task: &Self::Task) -> u64;
+
+    /// Serialized size of one task on the wire, bytes.
+    fn task_bytes(&self) -> u64 {
+        8
+    }
+
+    /// Whether the computation's global state has converged (diagnostic;
+    /// termination itself is queue emptiness).
+    fn converged(&self) -> bool {
+        true
+    }
+}

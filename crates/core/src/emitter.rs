@@ -1,0 +1,90 @@
+//! Task emission: what an application pushes while processing a task.
+//!
+//! Mirrors Listing 5's two code paths: `worklists.push_warp(neighbor)` for
+//! local vertices and `push_warp(neighbor, pe)` — a one-sided remote push —
+//! for vertices owned elsewhere.
+
+/// Collects the pushes produced while processing one batch of tasks.
+#[derive(Debug)]
+pub struct Emitter<T> {
+    /// Tasks for this PE's local queue.
+    pub local: Vec<T>,
+    /// Tasks for other PEs' receive queues: `(destination, task)`.
+    pub remote: Vec<(usize, T)>,
+    my_pe: usize,
+}
+
+impl<T> Emitter<T> {
+    /// New emitter for PE `my_pe`.
+    pub fn new(my_pe: usize) -> Self {
+        Emitter {
+            local: Vec::new(),
+            remote: Vec::new(),
+            my_pe,
+        }
+    }
+
+    /// The PE this emitter belongs to (the paper's `my_pe`).
+    pub fn my_pe(&self) -> usize {
+        self.my_pe
+    }
+
+    /// Push a task to `dst`: the local queue if `dst == my_pe`, otherwise
+    /// a one-sided push to the remote receive queue.
+    pub fn push(&mut self, dst: usize, task: T) {
+        if dst == self.my_pe {
+            self.local.push(task);
+        } else {
+            self.remote.push((dst, task));
+        }
+    }
+
+    /// Push a task to this PE's own queue.
+    pub fn push_local(&mut self, task: T) {
+        self.local.push(task);
+    }
+
+    /// Total tasks emitted.
+    pub fn len(&self) -> usize {
+        self.local.len() + self.remote.len()
+    }
+
+    /// Whether nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.local.is_empty() && self.remote.is_empty()
+    }
+
+    /// Clear both buffers (runtime reuses one emitter per step).
+    pub fn clear(&mut self) {
+        self.local.clear();
+        self.remote.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_by_destination() {
+        let mut e = Emitter::new(1);
+        e.push(1, "local");
+        e.push(0, "remote0");
+        e.push(2, "remote2");
+        e.push_local("also-local");
+        assert_eq!(e.local, vec!["local", "also-local"]);
+        assert_eq!(e.remote, vec![(0, "remote0"), (2, "remote2")]);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut e = Emitter::new(0);
+        e.push(0, 1u32);
+        e.push(1, 2);
+        e.clear();
+        assert!(e.is_empty());
+        assert_eq!(e.my_pe(), 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Run statistics: virtual time plus the workload and traffic counters the
+//! paper reports (Table III's normalized workload, communication volumes).
+
+use atos_sim::Time;
+
+/// Everything measured during one runtime execution.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Virtual wall time of the whole run, ns.
+    pub elapsed_ns: Time,
+    /// Tasks processed per PE (`f1` invocations).
+    pub tasks_per_pe: Vec<u64>,
+    /// Edges expanded per PE.
+    pub edges_per_pe: Vec<u64>,
+    /// Busy virtual time per PE, ns.
+    pub busy_ns_per_pe: Vec<Time>,
+    /// Scheduling steps (kernels, in discrete mode) per PE.
+    pub steps_per_pe: Vec<u64>,
+    /// Application messages sent (bundles count as one).
+    pub messages: u64,
+    /// Application payload bytes sent.
+    pub payload_bytes: u64,
+    /// Wire bytes including framing (from the fabric trace).
+    pub wire_bytes: u64,
+    /// Remote tasks delivered.
+    pub remote_tasks: u64,
+    /// Traffic burstiness (coefficient of variation; None if negligible
+    /// traffic).
+    pub burstiness: Option<f64>,
+}
+
+impl RunStats {
+    /// Construct zeroed stats for `n_pes`.
+    pub fn new(n_pes: usize) -> Self {
+        RunStats {
+            tasks_per_pe: vec![0; n_pes],
+            edges_per_pe: vec![0; n_pes],
+            busy_ns_per_pe: vec![0; n_pes],
+            steps_per_pe: vec![0; n_pes],
+            ..Default::default()
+        }
+    }
+
+    /// Elapsed virtual time in milliseconds (the unit of every table).
+    pub fn elapsed_ms(&self) -> f64 {
+        atos_sim::ns_to_ms(self.elapsed_ns)
+    }
+
+    /// Total tasks processed across PEs.
+    pub fn total_tasks(&self) -> u64 {
+        self.tasks_per_pe.iter().sum()
+    }
+
+    /// Total edges expanded across PEs.
+    pub fn total_edges(&self) -> u64 {
+        self.edges_per_pe.iter().sum()
+    }
+
+    /// Table III's metric: tasks processed normalized by an ideal count
+    /// (for BFS, each reachable vertex visited exactly once).
+    pub fn normalized_workload(&self, ideal_tasks: u64) -> f64 {
+        if ideal_tasks == 0 {
+            return 0.0;
+        }
+        self.total_tasks() as f64 / ideal_tasks as f64
+    }
+
+    /// Mean PE utilization: busy time / elapsed, averaged over PEs.
+    pub fn utilization(&self) -> f64 {
+        if self.elapsed_ns == 0 || self.busy_ns_per_pe.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .busy_ns_per_pe
+            .iter()
+            .map(|&b| b as f64 / self.elapsed_ns as f64)
+            .sum();
+        sum / self.busy_ns_per_pe.len() as f64
+    }
+
+    /// Mean payload bytes per message (aggregation effectiveness).
+    pub fn mean_message_bytes(&self) -> f64 {
+        if self.messages == 0 {
+            return 0.0;
+        }
+        self.payload_bytes as f64 / self.messages as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut s = RunStats::new(2);
+        s.elapsed_ns = 2_000_000;
+        s.tasks_per_pe = vec![30, 70];
+        s.busy_ns_per_pe = vec![1_000_000, 2_000_000];
+        s.messages = 4;
+        s.payload_bytes = 400;
+        assert!((s.elapsed_ms() - 2.0).abs() < 1e-12);
+        assert_eq!(s.total_tasks(), 100);
+        assert!((s.normalized_workload(80) - 1.25).abs() < 1e-12);
+        assert!((s.utilization() - 0.75).abs() < 1e-12);
+        assert!((s.mean_message_bytes() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let s = RunStats::new(0);
+        assert_eq!(s.utilization(), 0.0);
+        assert_eq!(s.mean_message_bytes(), 0.0);
+        assert_eq!(s.normalized_workload(0), 0.0);
+    }
+}

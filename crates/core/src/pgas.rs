@@ -1,0 +1,83 @@
+//! One-sided (PGAS) operation vocabulary.
+//!
+//! On real hardware Atos issues these through CUDA unified memory (NVLink)
+//! or NVSHMEM (InfiniBand); in the simulator each operation becomes a
+//! message whose payload size and destination-side effect are defined
+//! here. The runtime charges the GPU-resident control path for every
+//! injection, which is the mechanism behind the paper's title: no CPU is
+//! involved in preparing, triggering, or completing any of these.
+
+/// A one-sided remote memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteOp {
+    /// `put`: write `bytes` of data into remote memory.
+    Put {
+        /// Payload size.
+        bytes: u64,
+    },
+    /// `get`: read `bytes` from remote memory (costs a round trip).
+    Get {
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Remote atomic min (the paper's `atomicMin(bfs.depth+neighbor,
+    /// depth+1, pe)`): 4-byte address-side compare, 8-byte request.
+    AtomicMin,
+    /// Remote queue append (the paper's `push_warp(neighbor, pe)`): the
+    /// one-sided write into a remote receive queue plus its counter
+    /// update.
+    QueueAppend {
+        /// Payload size of the appended task(s).
+        bytes: u64,
+    },
+}
+
+impl RemoteOp {
+    /// Request payload on the wire, bytes (headers are charged by the
+    /// packet model, not here).
+    pub fn request_bytes(self) -> u64 {
+        match self {
+            RemoteOp::Put { bytes } => bytes,
+            // A get request carries only the address/size descriptor.
+            RemoteOp::Get { .. } => 16,
+            RemoteOp::AtomicMin => 8,
+            RemoteOp::QueueAppend { bytes } => bytes + 8, // + counter update
+        }
+    }
+
+    /// Response payload, bytes (0 for fire-and-forget one-sided writes).
+    pub fn response_bytes(self) -> u64 {
+        match self {
+            RemoteOp::Get { bytes } => bytes,
+            // The paper's remote atomicMin is used for its return value
+            // ("if (atomicMin(...) > depth+1)"), i.e. a fetching atomic.
+            RemoteOp::AtomicMin => 8,
+            _ => 0,
+        }
+    }
+
+    /// Whether the issuing worker must wait for a response before acting.
+    pub fn is_round_trip(self) -> bool {
+        self.response_bytes() > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_append_are_one_way() {
+        assert!(!RemoteOp::Put { bytes: 64 }.is_round_trip());
+        assert!(!RemoteOp::QueueAppend { bytes: 128 }.is_round_trip());
+        assert_eq!(RemoteOp::Put { bytes: 64 }.request_bytes(), 64);
+        assert_eq!(RemoteOp::QueueAppend { bytes: 128 }.request_bytes(), 136);
+    }
+
+    #[test]
+    fn get_and_fetching_atomic_round_trip() {
+        assert!(RemoteOp::Get { bytes: 256 }.is_round_trip());
+        assert_eq!(RemoteOp::Get { bytes: 256 }.response_bytes(), 256);
+        assert!(RemoteOp::AtomicMin.is_round_trip());
+    }
+}

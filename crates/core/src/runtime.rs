@@ -1,0 +1,814 @@
+//! The Atos scheduler: persistent/discrete kernel loops over distributed
+//! queues, with in-kernel one-sided communication, executed in virtual
+//! time.
+//!
+//! Execution model (paper Listing 3): each PE repeatedly pops a batch of
+//! tasks (up to `num_workers × fetch`), applies the application's `f1` to
+//! each, pushes newly generated local tasks to its own queue and remote
+//! tasks toward their owners. A PE with nothing to pop runs `f2`
+//! ([`Application::on_idle`]) once and then sleeps until a remote arrival
+//! wakes it. The run ends when every queue is empty and no message is in
+//! flight — which in the event-driven formulation is simply "no events
+//! remain".
+//!
+//! ## What time is charged where
+//!
+//! * A scheduling step costs [`GpuCostModel::batch_ns`] (work/span over
+//!   the popped tasks); discrete mode adds a kernel launch + host sync
+//!   per step.
+//! * Remote pushes issued during a step leave at times *spread across the
+//!   step* — this models Atos's in-kernel communication and is what makes
+//!   communication/computation overlap real in the simulation. A
+//!   kernel-boundary framework would emit everything at the end of the
+//!   step (that is exactly what the baselines in `atos-baselines` do).
+//! * Each message pays the GPU-resident control path
+//!   ([`ControlPath::gpu_direct`]) plus fabric serialization and latency.
+//! * In aggregated mode, pushes land in per-destination
+//!   [`AggBuffer`]s instead, and bundles leave on the size/age triggers.
+
+use std::collections::BTreeMap;
+
+use atos_sim::{ControlPath, Engine, Fabric, GpuCostModel, PeId, Time};
+
+use crate::aggregator::AggBuffer;
+use crate::app::{Application, IdleOutcome};
+use crate::config::{AtosConfig, CommMode, KernelMode, QueueMode};
+use crate::emitter::Emitter;
+use crate::metrics::RunStats;
+use crate::workqueue::WorkQueue;
+
+/// Delay between a remote arrival and an idle persistent worker noticing
+/// it (one poll of the receive queue's `end` counter).
+const WAKE_POLL_NS: Time = 400;
+
+/// Hard cap on processed events — a runaway guard for mis-configured
+/// applications (e.g. a task that re-emits itself forever).
+const MAX_EVENTS: u64 = 200_000_000;
+
+enum Ev<T> {
+    /// Run one scheduling step on a PE.
+    Step { pe: usize },
+    /// A message of tasks arrives at a PE's receive queue.
+    Arrive { dst: usize, tasks: Vec<T> },
+    /// Aggregator age-trigger poll on a PE.
+    AggPoll { pe: usize },
+}
+
+/// Framework-behavior knobs that distinguish Atos from the baseline
+/// frameworks modeled on the same runtime (Groute, Galois). Atos defaults;
+/// the `atos-baselines` crate overrides them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeTuning {
+    /// Who runs the communication control path. Atos: the GPU. Groute /
+    /// Galois: the host CPU.
+    pub control: ControlPath,
+    /// Whether remote pushes leave *during* a kernel (Atos's in-kernel
+    /// one-sided communication) or only at the kernel boundary
+    /// (traditional frameworks collect communication and issue it in bulk
+    /// at the end of the kernel).
+    pub in_kernel_comm: bool,
+    /// Gluon-style per-round synchronization metadata: if nonzero, every
+    /// scheduling step that communicates also broadcasts this many bytes
+    /// (update bitvectors / offsets) to every peer before its payload.
+    pub round_metadata_bytes: u64,
+    /// Host-side serialization cost per metadata byte, ns. Gluon packs and
+    /// unpacks its per-round update structures on the CPU; this charge —
+    /// paid per peer, per communicating round, on the sender's critical
+    /// path — is what makes bulk-asynchronous frameworks *slower* with
+    /// more peers (Table V's anti-scaling).
+    pub metadata_cpu_ns_per_byte: f64,
+}
+
+impl Default for RuntimeTuning {
+    fn default() -> Self {
+        RuntimeTuning {
+            control: ControlPath::gpu_direct(),
+            in_kernel_comm: true,
+            round_metadata_bytes: 0,
+            metadata_cpu_ns_per_byte: 0.0,
+        }
+    }
+}
+
+struct Pe<T> {
+    queue: WorkQueue<T>,
+    agg: Vec<AggBuffer<T>>,
+    step_scheduled: bool,
+    agg_poll_scheduled: bool,
+    idle_ran: bool,
+}
+
+/// The Atos runtime: an [`Application`] executing under an [`AtosConfig`]
+/// on a simulated [`Fabric`].
+pub struct Runtime<A: Application> {
+    engine: Engine<Ev<A::Task>>,
+    fabric: Fabric,
+    cost: GpuCostModel,
+    cfg: AtosConfig,
+    app: A,
+    pes: Vec<Pe<A::Task>>,
+    stats: RunStats,
+    tuning: RuntimeTuning,
+}
+
+impl<A: Application> Runtime<A> {
+    /// Build a runtime over `fabric` with the V100 cost model.
+    pub fn new(app: A, fabric: Fabric, cfg: AtosConfig) -> Self {
+        Self::with_cost_model(app, fabric, cfg, GpuCostModel::v100())
+    }
+
+    /// Build with an explicit cost model (ablations).
+    pub fn with_cost_model(app: A, fabric: Fabric, cfg: AtosConfig, cost: GpuCostModel) -> Self {
+        Self::with_tuning(app, fabric, cfg, cost, RuntimeTuning::default())
+    }
+
+    /// Build with explicit framework-behavior tuning — how the baseline
+    /// frameworks (Groute-, Galois-like) are modeled on this runtime.
+    pub fn with_tuning(
+        app: A,
+        fabric: Fabric,
+        cfg: AtosConfig,
+        cost: GpuCostModel,
+        tuning: RuntimeTuning,
+    ) -> Self {
+        let n = fabric.n_pes();
+        let pes = (0..n)
+            .map(|_| Pe {
+                queue: match cfg.queue {
+                    QueueMode::Standard => WorkQueue::standard(),
+                    QueueMode::Priority {
+                        threshold,
+                        threshold_delta,
+                    } => WorkQueue::priority(threshold, threshold_delta),
+                },
+                agg: (0..n).map(AggBuffer::new).collect(),
+                step_scheduled: false,
+                agg_poll_scheduled: false,
+                idle_ran: false,
+            })
+            .collect();
+        Runtime {
+            engine: Engine::new(),
+            fabric,
+            cost,
+            cfg,
+            app,
+            pes,
+            stats: RunStats::new(n),
+            tuning,
+        }
+    }
+
+    /// Number of PEs.
+    pub fn n_pes(&self) -> usize {
+        self.fabric.n_pes()
+    }
+
+    /// Borrow the application (inspect results after `run`).
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Consume the runtime, returning the application.
+    pub fn into_app(self) -> A {
+        self.app
+    }
+
+    /// Seed initial tasks on a PE (before `run`).
+    pub fn seed(&mut self, pe: usize, tasks: impl IntoIterator<Item = A::Task>) {
+        for t in tasks {
+            let prio = self.app.priority(&t);
+            self.pes[pe].queue.push(t, prio);
+        }
+        self.wake(pe, 0);
+    }
+
+    /// Execute to global quiescence; returns the run's measurements.
+    pub fn run(&mut self) -> RunStats {
+        while let Some((_, ev)) = self.engine.pop() {
+            match ev {
+                Ev::Step { pe } => self.step(pe),
+                Ev::Arrive { dst, tasks } => self.arrive(dst, tasks),
+                Ev::AggPoll { pe } => self.agg_poll(pe),
+            }
+            assert!(
+                self.engine.processed() < MAX_EVENTS,
+                "runaway simulation: {} events",
+                self.engine.processed()
+            );
+        }
+        self.stats.elapsed_ns = self.engine.now();
+        self.stats.wire_bytes = self.fabric.trace.total_wire_bytes();
+        self.stats.burstiness = self.fabric.trace.burstiness();
+        self.stats.clone()
+    }
+
+    /// The fabric's traffic trace (after `run`).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    fn wake(&mut self, pe: usize, delay: Time) {
+        if !self.pes[pe].step_scheduled && !self.pes[pe].queue.is_empty() {
+            self.pes[pe].step_scheduled = true;
+            self.pes[pe].idle_ran = false;
+            self.engine.schedule_in(delay, Ev::Step { pe });
+        }
+    }
+
+    fn step(&mut self, pe: usize) {
+        self.pes[pe].step_scheduled = false;
+        // Persistent workers pop in fetch-sized rounds; a discrete kernel
+        // is launched over the whole current queue snapshot (its grid
+        // covers the frontier), so launch overhead amortizes over the full
+        // eligible batch.
+        let cap = match self.cfg.kernel {
+            KernelMode::Persistent => self.cfg.worker.round_capacity(),
+            KernelMode::Discrete => usize::MAX,
+        };
+        let mut batch = Vec::with_capacity(self.cfg.worker.round_capacity().min(4096));
+        let got = self.pes[pe].queue.pop_batch(cap, &mut batch);
+        let now = self.engine.now();
+
+        if got == 0 {
+            // f2: one idle-handler invocation per idle transition.
+            if !self.pes[pe].idle_ran {
+                self.pes[pe].idle_ran = true;
+                let mut em = Emitter::new(pe);
+                if self.app.on_idle(pe, &mut em) == IdleOutcome::Refilled {
+                    self.absorb_local(pe, &mut em);
+                    self.dispatch_remote(pe, &mut em, now, 0);
+                    self.wake(pe, 0);
+                }
+            }
+            return;
+        }
+
+        self.stats.steps_per_pe[pe] += 1;
+        self.stats.tasks_per_pe[pe] += got as u64;
+
+        let mut em = Emitter::new(pe);
+        let mut edges = 0u64;
+        let mut span = 0u64;
+        for &t in &batch {
+            let e = self.app.task_edges(&t);
+            edges += e;
+            span = span.max(e);
+            self.app.process(pe, t, &mut em);
+        }
+        self.stats.edges_per_pe[pe] += edges;
+
+        // A full round (queue held more than we popped) runs at pure
+        // throughput: hubs pipeline with following batches. Discrete
+        // kernels saturate once the snapshot is several times the
+        // resident-worker count.
+        let saturated = got == cap || got >= 4 * self.cost.resident_workers;
+        let mut busy = self.cost.step_ns(got, edges, span, saturated);
+        if self.cfg.kernel == KernelMode::Discrete {
+            busy += self.cost.kernel_cycle_ns();
+        }
+        self.stats.busy_ns_per_pe[pe] += busy;
+
+        self.absorb_local(pe, &mut em);
+        self.dispatch_remote(pe, &mut em, now, busy);
+
+        // Next scheduling round once this one's virtual time has elapsed.
+        self.pes[pe].idle_ran = false;
+        if !self.pes[pe].queue.is_empty() {
+            self.pes[pe].step_scheduled = true;
+            self.engine.schedule_in(busy, Ev::Step { pe });
+        } else {
+            // Schedule one more step at the end of the busy window: it
+            // will find the queue empty (unless arrivals beat it) and run
+            // the f2 idle handler exactly once.
+            self.pes[pe].step_scheduled = true;
+            self.engine.schedule_in(busy, Ev::Step { pe });
+        }
+    }
+
+    fn absorb_local(&mut self, pe: usize, em: &mut Emitter<A::Task>) {
+        for t in em.local.drain(..) {
+            let prio = self.app.priority(&t);
+            self.pes[pe].queue.push(t, prio);
+        }
+    }
+
+    /// Route remote emissions: group per destination and either send
+    /// directly (fine-grained, spread across the step for in-kernel
+    /// overlap) or accumulate in the aggregator.
+    fn dispatch_remote(
+        &mut self,
+        src: usize,
+        em: &mut Emitter<A::Task>,
+        now: Time,
+        busy: Time,
+    ) {
+        if em.remote.is_empty() {
+            return;
+        }
+        let mut per_dst: BTreeMap<usize, Vec<A::Task>> = BTreeMap::new();
+        for (dst, t) in em.remote.drain(..) {
+            debug_assert!(dst != src, "remote push to self");
+            per_dst.entry(dst).or_default().push(t);
+        }
+        let task_bytes = self.app.task_bytes();
+        // Gluon-style round metadata: serialize and broadcast update masks
+        // to every peer before this round's payload leaves. The host-side
+        // pack/unpack cost accumulates per peer on the sender's critical
+        // path; the payload below cannot leave until it completes.
+        let mut metadata_done = now + busy;
+        if self.tuning.round_metadata_bytes > 0 {
+            let ser_ns = (self.tuning.round_metadata_bytes as f64
+                * self.tuning.metadata_cpu_ns_per_byte)
+                .ceil() as Time;
+            for peer in 0..self.pes.len() {
+                if peer != src {
+                    metadata_done += ser_ns;
+                    let arrival = self.fabric.transfer(
+                        metadata_done,
+                        PeId(src as u32),
+                        PeId(peer as u32),
+                        self.tuning.round_metadata_bytes,
+                        self.tuning.control,
+                    );
+                    let _ = arrival; // metadata gates payload via link order
+                    self.stats.messages += 1;
+                    self.stats.payload_bytes += self.tuning.round_metadata_bytes;
+                }
+            }
+        }
+        match self.cfg.comm {
+            CommMode::Direct { group } => {
+                let group = group.max(1);
+                // Total chunks across destinations, for time spreading.
+                let total_chunks: usize = per_dst
+                    .values()
+                    .map(|v| v.len().div_ceil(group))
+                    .sum();
+                let mut i = 0usize;
+                for (dst, tasks) in per_dst {
+                    for chunk in tasks.chunks(group) {
+                        // In-kernel issue time: Atos spreads sends across
+                        // the busy window (communication/computation
+                        // overlap); kernel-boundary frameworks emit
+                        // everything when the kernel completes.
+                        let t_issue = if self.tuning.in_kernel_comm {
+                            now + busy * i as u64 / total_chunks.max(1) as u64
+                        } else {
+                            metadata_done
+                        };
+                        i += 1;
+                        self.send(t_issue, src, dst, chunk.to_vec(), task_bytes);
+                    }
+                }
+            }
+            CommMode::Aggregated {
+                batch_bytes,
+                wait_time,
+            } => {
+                let total: usize = per_dst.values().map(Vec::len).sum();
+                let mut i = 0usize;
+                for (dst, tasks) in per_dst {
+                    for t in tasks {
+                        let t_push = if self.tuning.in_kernel_comm {
+                            now + busy * i as u64 / total.max(1) as u64
+                        } else {
+                            metadata_done
+                        };
+                        i += 1;
+                        self.pes[src].agg[dst].push(t, task_bytes, t_push);
+                        if self.pes[src].agg[dst].should_flush(t_push, batch_bytes, wait_time)
+                        {
+                            let (bundle, bytes) = self.pes[src].agg[dst].flush();
+                            let n = bundle.len();
+                            let _ = n;
+                            let _ = bytes;
+                            self.send(t_push, src, dst, bundle, task_bytes);
+                        }
+                    }
+                }
+                self.schedule_agg_poll(src);
+            }
+        }
+    }
+
+    /// One message on the wire: charge control path + fabric, deliver.
+    fn send(&mut self, at: Time, src: usize, dst: usize, tasks: Vec<A::Task>, task_bytes: u64) {
+        let payload = tasks.len() as u64 * task_bytes;
+        let arrival = self.fabric.transfer(
+            at,
+            PeId(src as u32),
+            PeId(dst as u32),
+            payload,
+            self.tuning.control,
+        );
+        self.stats.messages += 1;
+        self.stats.payload_bytes += payload;
+        self.stats.remote_tasks += tasks.len() as u64;
+        self.engine.schedule_at(arrival, Ev::Arrive { dst, tasks });
+    }
+
+    fn arrive(&mut self, dst: usize, tasks: Vec<A::Task>) {
+        let mut enqueued = false;
+        for t in tasks {
+            // One-sided destination-side effect (e.g. the RDMA atomicMin):
+            // only improved updates enter the queue.
+            if let Some(t2) = self.app.on_receive(dst, t) {
+                let prio = self.app.priority(&t2);
+                self.pes[dst].queue.push(t2, prio);
+                enqueued = true;
+            }
+        }
+        if enqueued {
+            let wake_delay = match self.cfg.kernel {
+                KernelMode::Persistent => WAKE_POLL_NS,
+                // Host loop relaunches the kernel when work appears.
+                KernelMode::Discrete => 0,
+            };
+            self.wake(dst, wake_delay);
+        }
+    }
+
+    fn schedule_agg_poll(&mut self, pe: usize) {
+        if self.pes[pe].agg_poll_scheduled {
+            return;
+        }
+        let wait_time = match self.cfg.comm {
+            CommMode::Aggregated { wait_time, .. } => wait_time,
+            _ => return,
+        };
+        let deadline = self.pes[pe]
+            .agg
+            .iter()
+            .filter_map(|b| b.age_deadline(wait_time))
+            .min();
+        if let Some(d) = deadline {
+            self.pes[pe].agg_poll_scheduled = true;
+            self.engine.schedule_at(d, Ev::AggPoll { pe });
+        }
+    }
+
+    fn agg_poll(&mut self, pe: usize) {
+        self.pes[pe].agg_poll_scheduled = false;
+        let (batch_bytes, wait_time) = match self.cfg.comm {
+            CommMode::Aggregated {
+                batch_bytes,
+                wait_time,
+            } => (batch_bytes, wait_time),
+            _ => return,
+        };
+        let now = self.engine.now();
+        let task_bytes = self.app.task_bytes();
+        for dst in 0..self.pes[pe].agg.len() {
+            if self.pes[pe].agg[dst].should_flush(now, batch_bytes, wait_time) {
+                let (bundle, _) = self.pes[pe].agg[dst].flush();
+                self.send(now, pe, dst, bundle, task_bytes);
+            }
+        }
+        self.schedule_agg_poll(pe);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::IdleOutcome;
+
+    /// Relay: a task `(hops_left)` forwards itself to the next PE until
+    /// hops run out. Exercises remote paths, wakeups, and termination.
+    struct Relay {
+        n_pes: usize,
+        processed: u64,
+        received: u64,
+    }
+
+    impl Application for Relay {
+        type Task = u32;
+
+        fn process(&mut self, pe: usize, task: u32, out: &mut Emitter<u32>) {
+            self.processed += 1;
+            if task > 0 {
+                out.push((pe + 1) % self.n_pes, task - 1);
+            }
+        }
+
+        fn on_receive(&mut self, _pe: usize, task: u32) -> Option<u32> {
+            self.received += 1;
+            Some(task)
+        }
+
+        fn task_edges(&self, _t: &u32) -> u64 {
+            1
+        }
+    }
+
+    fn daisy_runtime(n: usize, cfg: AtosConfig) -> Runtime<Relay> {
+        Runtime::new(
+            Relay {
+                n_pes: n,
+                processed: 0,
+                received: 0,
+            },
+            Fabric::daisy(n),
+            cfg,
+        )
+    }
+
+    #[test]
+    fn relay_terminates_and_counts() {
+        let mut rt = daisy_runtime(4, AtosConfig::standard_persistent());
+        rt.seed(0, [10u32]);
+        let stats = rt.run();
+        // 11 tasks processed (hops 10..=0), 10 remote deliveries.
+        assert_eq!(stats.total_tasks(), 11);
+        assert_eq!(rt.app().processed, 11);
+        assert_eq!(rt.app().received, 10);
+        assert_eq!(stats.messages, 10);
+        assert!(stats.elapsed_ns > 0);
+    }
+
+    #[test]
+    fn elapsed_scales_with_hops() {
+        let mut a = daisy_runtime(4, AtosConfig::standard_persistent());
+        a.seed(0, [4u32]);
+        let ta = a.run().elapsed_ns;
+        let mut b = daisy_runtime(4, AtosConfig::standard_persistent());
+        b.seed(0, [40u32]);
+        let tb = b.run().elapsed_ns;
+        assert!(tb > 5 * ta, "{ta} vs {tb}");
+    }
+
+    #[test]
+    fn discrete_kernels_cost_more_per_step() {
+        let mut p = daisy_runtime(2, AtosConfig::standard_persistent());
+        p.seed(0, [20u32]);
+        let tp = p.run().elapsed_ns;
+        let mut d = daisy_runtime(2, AtosConfig::standard_discrete());
+        d.seed(0, [20u32]);
+        let td = d.run().elapsed_ns;
+        // ~10 kernels per PE on the critical path, 17 µs kernel cycle each.
+        assert!(
+            td > tp + 10 * 10_000,
+            "discrete {td} should pay launch overhead over persistent {tp}"
+        );
+    }
+
+    #[test]
+    fn single_pe_needs_no_fabric_routes() {
+        let mut rt = daisy_runtime(1, AtosConfig::standard_persistent());
+        rt.seed(0, [0u32]);
+        let stats = rt.run();
+        assert_eq!(stats.total_tasks(), 1);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let go = || {
+            let mut rt = daisy_runtime(4, AtosConfig::standard_persistent());
+            rt.seed(0, [25u32]);
+            rt.run()
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.elapsed_ns, b.elapsed_ns);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.tasks_per_pe, b.tasks_per_pe);
+    }
+
+    /// Fan-out: task k on PE0 emits `width` remote singles to PE1.
+    /// Exercises aggregation bundling.
+    struct FanOut {
+        width: u32,
+    }
+
+    impl Application for FanOut {
+        type Task = (u32, bool); // (id, is_seed)
+
+        fn process(&mut self, _pe: usize, task: Self::Task, out: &mut Emitter<Self::Task>) {
+            if task.1 {
+                for i in 0..self.width {
+                    out.push(1, (i, false));
+                }
+            }
+        }
+
+        fn on_receive(&mut self, _pe: usize, t: Self::Task) -> Option<Self::Task> {
+            Some(t)
+        }
+
+        fn task_edges(&self, _t: &Self::Task) -> u64 {
+            1
+        }
+    }
+
+    #[test]
+    fn aggregator_bundles_messages() {
+        let width = 1000u32;
+        // Direct mode: width/group messages.
+        let mut direct = Runtime::new(
+            FanOut { width },
+            Fabric::ib_cluster(2),
+            AtosConfig {
+                comm: CommMode::Direct { group: 32 },
+                ..AtosConfig::standard_persistent()
+            },
+        );
+        direct.seed(0, [(0u32, true)]);
+        let sd = direct.run();
+
+        // Aggregated: far fewer, larger messages.
+        let mut agg = Runtime::new(
+            FanOut { width },
+            Fabric::ib_cluster(2),
+            AtosConfig::ib_pagerank(),
+        );
+        agg.seed(0, [(0u32, true)]);
+        let sa = agg.run();
+
+        assert_eq!(sd.remote_tasks, width as u64);
+        assert_eq!(sa.remote_tasks, width as u64);
+        assert!(
+            sa.messages * 10 < sd.messages,
+            "aggregated {} vs direct {}",
+            sa.messages,
+            sd.messages
+        );
+        assert!(sa.mean_message_bytes() > 20.0 * sd.mean_message_bytes());
+    }
+
+    #[test]
+    fn aggregator_age_trigger_flushes_small_bundles() {
+        // One lonely remote task must still arrive (WAIT_TIME trigger).
+        let mut rt = Runtime::new(
+            FanOut { width: 1 },
+            Fabric::ib_cluster(2),
+            AtosConfig::ib_bfs(),
+        );
+        rt.seed(0, [(0u32, true)]);
+        let s = rt.run();
+        assert_eq!(s.remote_tasks, 1);
+        assert_eq!(s.messages, 1);
+    }
+
+    /// Idle-refill app: `on_idle` emits one task until a budget runs out.
+    struct IdleRefill {
+        budget: u32,
+    }
+
+    impl Application for IdleRefill {
+        type Task = u32;
+        fn process(&mut self, _pe: usize, _t: u32, _out: &mut Emitter<u32>) {}
+        fn on_receive(&mut self, _pe: usize, t: u32) -> Option<u32> {
+            Some(t)
+        }
+        fn on_idle(&mut self, _pe: usize, out: &mut Emitter<u32>) -> IdleOutcome {
+            if self.budget > 0 {
+                self.budget -= 1;
+                out.push_local(self.budget);
+                IdleOutcome::Refilled
+            } else {
+                IdleOutcome::Quiescent
+            }
+        }
+        fn task_edges(&self, _t: &u32) -> u64 {
+            1
+        }
+    }
+
+    #[test]
+    fn f2_idle_path_refills_until_quiescent() {
+        let mut rt = Runtime::new(
+            IdleRefill { budget: 5 },
+            Fabric::daisy(1),
+            AtosConfig::standard_persistent(),
+        );
+        rt.seed(0, [99u32]);
+        let s = rt.run();
+        // Seed + 5 refills.
+        assert_eq!(s.total_tasks(), 6);
+        assert_eq!(rt.app().budget, 0);
+    }
+
+    #[test]
+    fn metadata_tuning_slows_rounds_with_more_peers() {
+        // Gluon-style tuning: same workload, more peers => more per-round
+        // serialization => slower (the Table V anti-scaling mechanism).
+        let run_with_peers = |n: usize| {
+            let app = Relay {
+                n_pes: n,
+                processed: 0,
+                received: 0,
+            };
+            let tuning = RuntimeTuning {
+                control: ControlPath::cpu_mediated(),
+                in_kernel_comm: false,
+                round_metadata_bytes: 4096,
+                metadata_cpu_ns_per_byte: 16.0,
+            };
+            let mut rt = Runtime::with_tuning(
+                app,
+                Fabric::ib_cluster(n),
+                AtosConfig::standard_discrete(),
+                atos_sim::GpuCostModel::v100(),
+                tuning,
+            );
+            rt.seed(0, [30u32]);
+            rt.run().elapsed_ns
+        };
+        let t2 = run_with_peers(2);
+        let t8 = run_with_peers(8);
+        assert!(
+            t8 > t2 + 30 * 6 * (4096.0 * 16.0) as u64 / 2,
+            "8 peers {t8} vs 2 peers {t2}"
+        );
+    }
+
+    #[test]
+    fn kernel_boundary_comm_delays_arrivals() {
+        // With in_kernel_comm off, messages leave at the end of the busy
+        // window instead of spread across it: end-to-end latency grows.
+        let go = |overlap: bool| {
+            let app = Relay {
+                n_pes: 2,
+                processed: 0,
+                received: 0,
+            };
+            let tuning = RuntimeTuning {
+                in_kernel_comm: overlap,
+                ..RuntimeTuning::default()
+            };
+            let mut rt = Runtime::with_tuning(
+                app,
+                Fabric::daisy(2),
+                AtosConfig::standard_persistent(),
+                atos_sim::GpuCostModel::v100(),
+                tuning,
+            );
+            rt.seed(0, [40u32]);
+            rt.run().elapsed_ns
+        };
+        assert!(go(true) <= go(false));
+    }
+
+    #[test]
+    fn aggregator_handles_multiple_destinations() {
+        // Seed tasks whose children scatter to 3 peers; each peer's bundle
+        // flushes independently.
+        struct Scatter;
+        impl Application for Scatter {
+            type Task = (u32, bool);
+            fn process(&mut self, _pe: usize, t: Self::Task, out: &mut Emitter<Self::Task>) {
+                if t.1 {
+                    for i in 0..300u32 {
+                        out.push(1 + (i % 3) as usize, (i, false));
+                    }
+                }
+            }
+            fn on_receive(&mut self, _pe: usize, t: Self::Task) -> Option<Self::Task> {
+                Some(t)
+            }
+            fn task_edges(&self, _t: &Self::Task) -> u64 {
+                1
+            }
+        }
+        let mut rt = Runtime::new(Scatter, Fabric::ib_cluster(4), AtosConfig::ib_pagerank());
+        rt.seed(0, [(0u32, true)]);
+        let s = rt.run();
+        assert_eq!(s.remote_tasks, 300);
+        // One age-triggered bundle per destination.
+        assert_eq!(s.messages, 3);
+    }
+
+    #[test]
+    fn priority_config_orders_work() {
+        // Tasks carry their priority; the run should process low
+        // priorities before high ones within a PE.
+        struct Recorder {
+            order: Vec<u32>,
+        }
+        impl Application for Recorder {
+            type Task = u32;
+            fn process(&mut self, _pe: usize, t: u32, _out: &mut Emitter<u32>) {
+                self.order.push(t);
+            }
+            fn on_receive(&mut self, _pe: usize, t: u32) -> Option<u32> {
+                Some(t)
+            }
+            fn priority(&self, t: &u32) -> u32 {
+                *t
+            }
+            fn task_edges(&self, _t: &u32) -> u64 {
+                1
+            }
+        }
+        let mut rt = Runtime::new(
+            Recorder { order: vec![] },
+            Fabric::daisy(1),
+            AtosConfig::priority_discrete(),
+        );
+        rt.seed(0, [5u32, 1, 3, 0, 2, 4]);
+        rt.run();
+        assert_eq!(rt.app().order, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

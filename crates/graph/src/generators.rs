@@ -1,0 +1,329 @@
+//! Seeded graph generators and the Table I preset catalog.
+//!
+//! Two families mirror the paper's dataset split:
+//!
+//! * [`rmat`] — recursive-matrix (Kronecker) scale-free graphs; skew is
+//!   controlled by the `(a, b, c, d)` quadrant probabilities. `a ≫ d`
+//!   yields the heavy hubs of indochina-2004; balanced-ish settings give
+//!   LiveJournal-like social graphs.
+//! * [`grid_2d`] / [`road_network`] — degree-≈4 meshes with enormous
+//!   diameter; `road_network` perturbs the grid with deletions and a few
+//!   shortcut edges so degrees and local structure resemble road graphs.
+//!
+//! All generators are deterministic in their seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::{Csr, VertexId};
+
+/// Generate a scale-free directed graph with `2^scale` vertices and
+/// `n_edges` edges via R-MAT recursive quadrant sampling.
+pub fn rmat(scale: u32, n_edges: usize, probs: (f64, f64, f64, f64), seed: u64) -> Csr {
+    let (a, b, c, _d) = probs;
+    assert!(a + b + c < 1.0 + 1e-9, "quadrant probabilities exceed 1");
+    let n = 1usize << scale;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        for level in (0..scale).rev() {
+            let r: f64 = rng.gen();
+            let (du, dv) = if r < a {
+                (0, 0)
+            } else if r < a + b {
+                (0, 1)
+            } else if r < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u |= du << level;
+            v |= dv << level;
+        }
+        edges.push((u as VertexId, v as VertexId));
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// Uniform random (Erdős–Rényi G(n, m)) directed graph.
+pub fn uniform(n_vertices: usize, n_edges: usize, seed: u64) -> Csr {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let edges: Vec<(VertexId, VertexId)> = (0..n_edges)
+        .map(|_| {
+            (
+                rng.gen_range(0..n_vertices) as VertexId,
+                rng.gen_range(0..n_vertices) as VertexId,
+            )
+        })
+        .collect();
+    Csr::from_edges(n_vertices, &edges)
+}
+
+/// 4-connected `w × h` grid, bidirectional edges. Diameter = `w + h - 2`.
+pub fn grid_2d(w: usize, h: usize) -> Csr {
+    let n = w * h;
+    let at = |x: usize, y: usize| (y * w + x) as VertexId;
+    let mut edges = Vec::with_capacity(4 * n);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((at(x, y), at(x + 1, y)));
+                edges.push((at(x + 1, y), at(x, y)));
+            }
+            if y + 1 < h {
+                edges.push((at(x, y), at(x, y + 1)));
+                edges.push((at(x, y + 1), at(x, y)));
+            }
+        }
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// Road-network-like mesh: a `w × h` grid with a fraction of edges deleted
+/// and a few long-range "highway" shortcuts added, keeping average degree
+/// ≈ 2–3 and diameter in the thousands (road_usa / osm-eur structure).
+pub fn road_network(w: usize, h: usize, seed: u64) -> Csr {
+    let n = w * h;
+    let at = |x: usize, y: usize| (y * w + x) as VertexId;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(4 * n);
+    let push_bidir = |edges: &mut Vec<(VertexId, VertexId)>, u: VertexId, v: VertexId| {
+        edges.push((u, v));
+        edges.push((v, u));
+    };
+    for y in 0..h {
+        for x in 0..w {
+            // Delete ~12% of grid edges to break the regular lattice (but
+            // keep row 0 / column 0 intact so the graph stays connected).
+            if x + 1 < w && (y == 0 || rng.gen::<f64>() > 0.12) {
+                push_bidir(&mut edges, at(x, y), at(x + 1, y));
+            }
+            if y + 1 < h && (x == 0 || rng.gen::<f64>() > 0.12) {
+                push_bidir(&mut edges, at(x, y), at(x, y + 1));
+            }
+        }
+    }
+    // Sparse highways: n/2048 shortcuts of bounded length, which perturb
+    // shortest paths without collapsing the diameter.
+    for _ in 0..(n / 2048) {
+        let x = rng.gen_range(0..w);
+        let y = rng.gen_range(0..h);
+        let dx = rng.gen_range(0..(w / 16).max(2));
+        let dy = rng.gen_range(0..(h / 16).max(2));
+        let x2 = (x + dx).min(w - 1);
+        let y2 = (y + dy).min(h - 1);
+        push_bidir(&mut edges, at(x, y), at(x2, y2));
+    }
+    Csr::from_edges(n, &edges)
+}
+
+/// Structural family of a dataset, Table I's "type" column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKind {
+    /// Power-law degrees, low diameter (social/web graphs).
+    ScaleFree,
+    /// Degree ≈ 2–4, huge diameter (road networks).
+    MeshLike,
+}
+
+impl GraphKind {
+    /// Table suffix used in the paper's dataset names (`s` / `m`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            GraphKind::ScaleFree => "s",
+            GraphKind::MeshLike => "m",
+        }
+    }
+}
+
+/// Generation size: `Full` for benchmark tables, `Tiny` for unit tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The DESIGN.md §6 sizes used by every table/figure binary.
+    Full,
+    /// Orders-of-magnitude smaller, same structure; for tests.
+    Tiny,
+}
+
+/// A scaled stand-in for one Table I dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct Preset {
+    /// Short name used in table output.
+    pub name: &'static str,
+    /// The paper dataset this preset mirrors.
+    pub mirrors: &'static str,
+    /// Structural family.
+    pub kind: GraphKind,
+}
+
+impl Preset {
+    /// The six Table I stand-ins, in the paper's row order.
+    pub const ALL: [Preset; 6] = [
+        Preset {
+            name: "soc-LiveJournal1_s",
+            mirrors: "soc-LiveJournal1",
+            kind: GraphKind::ScaleFree,
+        },
+        Preset {
+            name: "hollywood_2009_s",
+            mirrors: "hollywood_2009",
+            kind: GraphKind::ScaleFree,
+        },
+        Preset {
+            name: "indochina_2004_s",
+            mirrors: "indochina_2004",
+            kind: GraphKind::ScaleFree,
+        },
+        Preset {
+            name: "twitter_s",
+            mirrors: "twitter50",
+            kind: GraphKind::ScaleFree,
+        },
+        Preset {
+            name: "road_usa_s",
+            mirrors: "road_usa",
+            kind: GraphKind::MeshLike,
+        },
+        Preset {
+            name: "osm_eur_s",
+            mirrors: "osm_eur",
+            kind: GraphKind::MeshLike,
+        },
+    ];
+
+    /// The four strong-scaling datasets used in Figures 5, 8, and 9.
+    pub const SCALING: [&'static str; 4] =
+        ["soc-LiveJournal1_s", "twitter_s", "road_usa_s", "osm_eur_s"];
+
+    /// Look a preset up by name.
+    pub fn by_name(name: &str) -> Option<Preset> {
+        Preset::ALL.iter().copied().find(|p| p.name == name)
+    }
+
+    /// Build the graph. Deterministic per preset and scale.
+    pub fn build(&self, scale: Scale) -> Csr {
+        match (self.name, scale) {
+            // Social graph: moderately skewed R-MAT.
+            ("soc-LiveJournal1_s", Scale::Full) => {
+                rmat(18, 4_300_000, (0.57, 0.19, 0.19, 0.05), 11)
+            }
+            ("soc-LiveJournal1_s", Scale::Tiny) => rmat(10, 12_000, (0.57, 0.19, 0.19, 0.05), 11),
+            // Dense collaboration graph: high average degree.
+            ("hollywood_2009_s", Scale::Full) => rmat(16, 7_000_000, (0.55, 0.2, 0.2, 0.05), 22),
+            ("hollywood_2009_s", Scale::Tiny) => rmat(9, 30_000, (0.55, 0.2, 0.2, 0.05), 22),
+            // Web graph: extreme hub skew (max in-degree 256 k in Table I).
+            ("indochina_2004_s", Scale::Full) => rmat(19, 3_600_000, (0.7, 0.15, 0.1, 0.05), 33),
+            ("indochina_2004_s", Scale::Tiny) => rmat(10, 10_000, (0.7, 0.15, 0.1, 0.05), 33),
+            // The big one.
+            ("twitter_s", Scale::Full) => rmat(19, 16_000_000, (0.6, 0.19, 0.16, 0.05), 44),
+            ("twitter_s", Scale::Tiny) => rmat(11, 60_000, (0.6, 0.19, 0.16, 0.05), 44),
+            ("road_usa_s", Scale::Full) => road_network(707, 707, 55),
+            ("road_usa_s", Scale::Tiny) => road_network(48, 48, 55),
+            ("osm_eur_s", Scale::Full) => road_network(1000, 1000, 66),
+            ("osm_eur_s", Scale::Tiny) => road_network(64, 64, 66),
+            (other, _) => panic!("unknown preset {other}"),
+        }
+    }
+
+    /// A sensible BFS source: the highest-out-degree vertex, which is in
+    /// the giant component for every preset.
+    pub fn bfs_source(&self, g: &Csr) -> VertexId {
+        (0..g.n_vertices() as VertexId)
+            .max_by_key(|&v| g.degree(v))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = rmat(8, 1000, (0.57, 0.19, 0.19, 0.05), 7);
+        let b = rmat(8, 1000, (0.57, 0.19, 0.19, 0.05), 7);
+        assert_eq!(a, b);
+        let c = rmat(8, 1000, (0.57, 0.19, 0.19, 0.05), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(12, 40_000, (0.6, 0.19, 0.16, 0.05), 1);
+        // Scale-free: max degree far above average.
+        assert!(g.max_degree() as f64 > 10.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn grid_dimensions_and_degrees() {
+        let g = grid_2d(5, 4);
+        assert_eq!(g.n_vertices(), 20);
+        // Interior vertex has degree 4, corner 2.
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(6), 4);
+        // Undirected: every edge has its reverse.
+        for (u, v) in g.edges() {
+            assert!(g.neighbors(v).contains(&u));
+        }
+    }
+
+    #[test]
+    fn road_network_is_mesh_like() {
+        let g = road_network(48, 48, 3);
+        let avg = g.avg_degree();
+        assert!(avg > 2.0 && avg < 5.0, "avg degree {avg}");
+        assert!(g.max_degree() <= 12);
+    }
+
+    #[test]
+    fn road_network_row0_col0_connected_spine() {
+        let g = road_network(32, 32, 9);
+        // Row 0 keeps all horizontal edges, column 0 all vertical ones.
+        for x in 0..31u32 {
+            assert!(g.neighbors(x).contains(&(x + 1)));
+        }
+        for y in 0..31u32 {
+            assert!(g.neighbors(y * 32).contains(&((y + 1) * 32)));
+        }
+    }
+
+    #[test]
+    fn all_presets_build_tiny() {
+        for p in Preset::ALL {
+            let g = p.build(Scale::Tiny);
+            assert!(g.n_vertices() > 0, "{}", p.name);
+            assert!(g.n_edges() > 0, "{}", p.name);
+            let src = p.bfs_source(&g);
+            assert!(g.degree(src) > 0);
+        }
+    }
+
+    #[test]
+    fn preset_kinds_match_structure() {
+        for p in Preset::ALL {
+            let g = p.build(Scale::Tiny);
+            match p.kind {
+                GraphKind::ScaleFree => {
+                    assert!(g.max_degree() as f64 > 5.0 * g.avg_degree(), "{}", p.name)
+                }
+                GraphKind::MeshLike => assert!(g.max_degree() <= 12, "{}", p.name),
+            }
+        }
+    }
+
+    #[test]
+    fn preset_lookup() {
+        assert_eq!(Preset::by_name("twitter_s").unwrap().mirrors, "twitter50");
+        assert!(Preset::by_name("nope").is_none());
+        assert_eq!(GraphKind::ScaleFree.suffix(), "s");
+        assert_eq!(GraphKind::MeshLike.suffix(), "m");
+    }
+
+    #[test]
+    fn uniform_has_requested_density() {
+        let g = uniform(1000, 5000, 5);
+        // Dedup can only lose a few collisions.
+        assert!(g.n_edges() > 4900);
+    }
+}

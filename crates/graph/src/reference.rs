@@ -1,0 +1,184 @@
+//! Serial reference algorithms — ground truth for every scheduler.
+//!
+//! The asynchronous schedulers under test may process vertices out of
+//! order, revisit them (speculation), or race updates across PEs, but they
+//! must converge to the same fixed point: exact BFS depths, and PageRank
+//! values within the push algorithm's residual tolerance. Every
+//! correctness test in the workspace compares against these.
+
+use crate::csr::{Csr, VertexId};
+
+/// Depth value for unreachable vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Serial level-order BFS; returns each vertex's depth from `src`
+/// (`UNREACHED` if not reachable).
+pub fn bfs(g: &Csr, src: VertexId) -> Vec<u32> {
+    let mut depth = vec![UNREACHED; g.n_vertices()];
+    if g.n_vertices() == 0 {
+        return depth;
+    }
+    depth[src as usize] = 0;
+    let mut frontier = vec![src];
+    let mut next = Vec::new();
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        level += 1;
+        for &u in &frontier {
+            for &v in g.neighbors(u) {
+                if depth[v as usize] == UNREACHED {
+                    depth[v as usize] = level;
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    depth
+}
+
+/// Result of the push PageRank reference.
+#[derive(Debug, Clone)]
+pub struct PageRankResult {
+    /// Final rank per vertex.
+    pub rank: Vec<f64>,
+    /// Number of vertex relaxations performed (workload measure).
+    pub relaxations: u64,
+}
+
+/// Serial push-style PageRank with damping `alpha` and residual threshold
+/// `epsilon` — the same formulation the paper's asynchronous PR uses:
+/// every vertex starts with residue `1 - alpha`; relaxing a vertex moves
+/// its residue into its rank and pushes `alpha * residue / deg` to each
+/// out-neighbor; vertices re-enter the worklist when their residue crosses
+/// `epsilon`.
+///
+/// Ranks follow the unnormalized GPU-implementation convention: they sum
+/// to ≈ `n` at convergence (average rank 1), not 1.
+pub fn pagerank_push(g: &Csr, alpha: f64, epsilon: f64) -> PageRankResult {
+    let n = g.n_vertices();
+    let mut rank = vec![0.0f64; n];
+    let mut residue = vec![1.0 - alpha; n];
+    let mut in_queue = vec![true; n];
+    let mut queue: std::collections::VecDeque<VertexId> = (0..n as VertexId).collect();
+    let mut relaxations = 0u64;
+    while let Some(u) = queue.pop_front() {
+        in_queue[u as usize] = false;
+        let r = residue[u as usize];
+        if r < epsilon {
+            continue;
+        }
+        relaxations += 1;
+        residue[u as usize] = 0.0;
+        rank[u as usize] += r;
+        let deg = g.degree(u);
+        if deg == 0 {
+            continue;
+        }
+        let share = alpha * r / deg as f64;
+        for &v in g.neighbors(u) {
+            let res = &mut residue[v as usize];
+            *res += share;
+            if *res >= epsilon && !in_queue[v as usize] {
+                in_queue[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    PageRankResult { rank, relaxations }
+}
+
+/// L1 distance between two rank vectors (convergence comparison).
+pub fn rank_l1(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_2d, rmat};
+
+    #[test]
+    fn bfs_chain() {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs(&g, 3), vec![UNREACHED, UNREACHED, UNREACHED, 0]);
+    }
+
+    #[test]
+    fn bfs_diamond_takes_shortest() {
+        let g = Csr::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (0, 4)]);
+        let d = bfs(&g, 0);
+        assert_eq!(d[3], 2);
+        assert_eq!(d[4], 1, "direct edge beats the long path");
+    }
+
+    #[test]
+    fn bfs_grid_depth_is_manhattan() {
+        let g = grid_2d(8, 8);
+        let d = bfs(&g, 0);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(d[y * 8 + x], (x + y) as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_when_converged() {
+        // On a graph with no sinks, total rank approaches n as epsilon → 0
+        // (unnormalized convention: Σ rank + geometric residue tail = n).
+        let g = grid_2d(10, 10); // undirected grid: no sinks
+        let pr = pagerank_push(&g, 0.85, 1e-9);
+        let total: f64 = pr.rank.iter().sum();
+        let n = g.n_vertices() as f64;
+        assert!((total / n - 1.0).abs() < 1e-4, "total rank {total}");
+    }
+
+    #[test]
+    fn pagerank_orders_hub_first() {
+        // Star: everything points at vertex 0, plus a back edge so 0 isn't
+        // a sink.
+        let mut edges = vec![(0 as VertexId, 1 as VertexId)];
+        for v in 1..50u32 {
+            edges.push((v, 0));
+        }
+        let g = Csr::from_edges(50, &edges);
+        let pr = pagerank_push(&g, 0.85, 1e-10);
+        let max = pr
+            .rank
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(max, 0);
+    }
+
+    #[test]
+    fn pagerank_epsilon_controls_work() {
+        let g = rmat(9, 4000, (0.57, 0.19, 0.19, 0.05), 5);
+        let loose = pagerank_push(&g, 0.85, 1e-3);
+        let tight = pagerank_push(&g, 0.85, 1e-7);
+        assert!(tight.relaxations > loose.relaxations);
+        // Both approximate the same fixed point (normalized per vertex).
+        let per_vertex = rank_l1(&loose.rank, &tight.rank) / g.n_vertices() as f64;
+        assert!(per_vertex < 0.01, "per-vertex L1 {per_vertex}");
+    }
+
+    #[test]
+    fn rank_l1_basics() {
+        assert_eq!(rank_l1(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rank_l1(&[1.0, 2.0], &[0.5, 2.5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Csr::from_edges(0, &[]);
+        assert!(bfs(&g, 0).is_empty());
+        let pr = pagerank_push(&g, 0.85, 1e-6);
+        assert!(pr.rank.is_empty());
+    }
+}

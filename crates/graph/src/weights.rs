@@ -1,0 +1,195 @@
+//! Edge weights and weighted serial references (SSSP).
+//!
+//! The paper's two applications are unweighted, but its priority queue —
+//! `DistributedPriorityQueues` with `threshold` / `threshold_delta` — is
+//! the delta-stepping scheduling structure, and single-source shortest
+//! paths is its canonical client. This module supplies deterministic edge
+//! weights aligned to a [`Csr`] and a Dijkstra reference, used by the
+//! `atos-apps` SSSP extension.
+
+use crate::csr::{Csr, VertexId};
+
+/// Distance value for unreachable vertices.
+pub const UNREACHED_DIST: u64 = u64::MAX;
+
+/// Per-edge weights stored parallel to a CSR's neighbor array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeWeights {
+    w: Vec<u32>,
+    offsets: Vec<u64>,
+}
+
+impl EdgeWeights {
+    /// Deterministic pseudo-random weights in `1..=max_weight`, seeded.
+    ///
+    /// Weights are a pure function of `(u, v, seed)`, so two CSRs with the
+    /// same edges get the same weights regardless of construction order.
+    pub fn random(g: &Csr, max_weight: u32, seed: u64) -> Self {
+        assert!(max_weight >= 1);
+        let mut w = Vec::with_capacity(g.n_edges());
+        let mut offsets = Vec::with_capacity(g.n_vertices() + 1);
+        offsets.push(0u64);
+        for u in 0..g.n_vertices() as VertexId {
+            for &v in g.neighbors(u) {
+                w.push(hash_edge(u, v, seed) % max_weight + 1);
+            }
+            offsets.push(w.len() as u64);
+        }
+        EdgeWeights { w, offsets }
+    }
+
+    /// Unit weights (SSSP degenerates to BFS).
+    pub fn unit(g: &Csr) -> Self {
+        let mut offsets = Vec::with_capacity(g.n_vertices() + 1);
+        offsets.push(0u64);
+        for u in 0..g.n_vertices() as VertexId {
+            offsets.push(offsets.last().unwrap() + g.degree(u) as u64);
+        }
+        EdgeWeights {
+            w: vec![1; g.n_edges()],
+            offsets,
+        }
+    }
+
+    /// Weights of `u`'s out-edges, parallel to `g.neighbors(u)`.
+    pub fn of(&self, u: VertexId) -> &[u32] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.w[lo..hi]
+    }
+
+    /// Maximum weight present (delta-stepping tuning input).
+    pub fn max(&self) -> u32 {
+        self.w.iter().copied().max().unwrap_or(1)
+    }
+}
+
+fn hash_edge(u: VertexId, v: VertexId, seed: u64) -> u32 {
+    // splitmix64 over the packed edge id.
+    let mut x = ((u as u64) << 32 | v as u64) ^ seed.wrapping_mul(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    (x ^ (x >> 31)) as u32
+}
+
+/// Serial Dijkstra; returns distances (`UNREACHED_DIST` if unreachable).
+pub fn dijkstra(g: &Csr, w: &EdgeWeights, src: VertexId) -> Vec<u64> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut dist = vec![UNREACHED_DIST; g.n_vertices()];
+    if g.n_vertices() == 0 {
+        return dist;
+    }
+    dist[src as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        for (&v, &wt) in g.neighbors(u).iter().zip(w.of(u)) {
+            let nd = d + wt as u64;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Serial connected components of the *symmetrized* view of `g`: labels
+/// are the minimum vertex id in each component.
+pub fn connected_components(g: &Csr) -> Vec<u32> {
+    let s = g.symmetrize();
+    let n = s.n_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut stack = Vec::new();
+    for start in 0..n as VertexId {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        label[start as usize] = start;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &v in s.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = start;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{grid_2d, rmat};
+    use crate::reference::bfs;
+
+    #[test]
+    fn weights_align_with_neighbors() {
+        let g = rmat(8, 1200, (0.57, 0.19, 0.19, 0.05), 3);
+        let w = EdgeWeights::random(&g, 16, 7);
+        for u in 0..g.n_vertices() as VertexId {
+            assert_eq!(w.of(u).len(), g.degree(u));
+            assert!(w.of(u).iter().all(|&x| (1..=16).contains(&x)));
+        }
+        assert!(w.max() <= 16);
+    }
+
+    #[test]
+    fn weights_are_seed_deterministic() {
+        let g = rmat(7, 500, (0.57, 0.19, 0.19, 0.05), 1);
+        assert_eq!(EdgeWeights::random(&g, 8, 5), EdgeWeights::random(&g, 8, 5));
+        assert_ne!(EdgeWeights::random(&g, 8, 5), EdgeWeights::random(&g, 8, 6));
+    }
+
+    #[test]
+    fn unit_weight_dijkstra_equals_bfs() {
+        let g = rmat(9, 3000, (0.57, 0.19, 0.19, 0.05), 2);
+        let w = EdgeWeights::unit(&g);
+        let src = 0;
+        let d = dijkstra(&g, &w, src);
+        let b = bfs(&g, src);
+        for v in 0..g.n_vertices() {
+            if b[v] == u32::MAX {
+                assert_eq!(d[v], UNREACHED_DIST);
+            } else {
+                assert_eq!(d[v], b[v] as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_chain_with_shortcut() {
+        // 0 -> 1 -> 2 cheap; 0 -> 2 expensive.
+        let g = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        // Hand-build weights: of(0) = [w(0,1), w(0,2)], of(1) = [w(1,2)].
+        let w = EdgeWeights {
+            w: vec![1, 10, 1],
+            offsets: vec![0, 2, 3, 3],
+        };
+        assert_eq!(dijkstra(&g, &w, 0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn components_on_disconnected_grids() {
+        // Two 3x3 grids, disjoint.
+        let a = grid_2d(3, 3);
+        let mut edges: Vec<(u32, u32)> = a.edges().collect();
+        edges.extend(a.edges().map(|(u, v)| (u + 9, v + 9)));
+        let g = Csr::from_edges(18, &edges);
+        let labels = connected_components(&g);
+        assert!(labels[..9].iter().all(|&l| l == 0));
+        assert!(labels[9..].iter().all(|&l| l == 9));
+    }
+
+    #[test]
+    fn directed_chain_is_one_weak_component() {
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(connected_components(&g), vec![0, 0, 0, 0]);
+    }
+}

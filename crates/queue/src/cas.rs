@@ -1,0 +1,312 @@
+//! Compare-and-swap reservation queue — the paper's own baseline.
+//!
+//! Identical storage and publication protocol to [`crate::counter`] (so the
+//! comparison isolates exactly one variable), but every cursor movement uses
+//! a CAS retry loop instead of `fetch_add`. The paper: "our choice of an
+//! `atomicAdd` synchronization primitive instead of `atomicCAS` enables
+//! higher performance under high-contention concurrent popping, as CAS
+//! failure probability increases significantly with increasing contention."
+//!
+//! Like the paper's CAS queue (footnote 1), this implementation still uses
+//! the group-leader ("warp intrinsic") optimization: one CAS loop per group,
+//! not per item, so the measured gap is add-vs-CAS, not grouping.
+
+use core::cell::UnsafeCell;
+use core::mem::MaybeUninit;
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use crate::padded::Padded;
+use crate::{ConcurrentQueue, PopState, QueueFull};
+
+/// MPMC FIFO arena queue with CAS-based reservations.
+pub struct CasQueue<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    start: Padded<AtomicU64>,
+    end: Padded<AtomicU64>,
+    end_alloc: Padded<AtomicU64>,
+    end_max: Padded<AtomicU64>,
+    end_count: Padded<AtomicU64>,
+}
+
+// SAFETY: same argument as CounterQueue — reservation ranges are exclusive,
+// publication is Release/Acquire ordered through `end`.
+unsafe impl<T: Copy + Send> Sync for CasQueue<T> {}
+unsafe impl<T: Copy + Send> Send for CasQueue<T> {}
+
+impl<T: Copy + Send> CasQueue<T> {
+    /// Create a queue with a fixed arena of `capacity` slots.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            start: Padded::new(AtomicU64::new(0)),
+            end: Padded::new(AtomicU64::new(0)),
+            end_alloc: Padded::new(AtomicU64::new(0)),
+            end_max: Padded::new(AtomicU64::new(0)),
+            end_count: Padded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Arena capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Push a group of items; the leader reserves with a CAS retry loop.
+    pub fn push_group(&self, items: &[T]) -> Result<(), QueueFull> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let n = items.len() as u64;
+        // CAS reservation loop (the contended operation under study).
+        let mut idx = self.end_alloc.load(Ordering::Relaxed);
+        loop {
+            if idx + n > self.slots.len() as u64 {
+                return Err(QueueFull {
+                    capacity: self.slots.len(),
+                });
+            }
+            match self.end_alloc.compare_exchange_weak(
+                idx,
+                idx + n,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(cur) => idx = cur,
+            }
+        }
+        for (i, &item) in items.iter().enumerate() {
+            // SAFETY: `[idx, idx+n)` exclusively reserved, below capacity.
+            unsafe {
+                (*self.slots[(idx + i as u64) as usize].get()).write(item);
+            }
+        }
+        // Publication protocol shared with CounterQueue; end_max/end_count
+        // also via CAS loops to keep the design pure.
+        let mut cur = self.end_max.load(Ordering::Relaxed);
+        while cur < idx + n {
+            match self.end_max.compare_exchange_weak(
+                cur,
+                idx + n,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        let mut cnt = self.end_count.load(Ordering::Relaxed);
+        loop {
+            match self.end_count.compare_exchange_weak(
+                cnt,
+                cnt + n,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(c) => cnt = c,
+            }
+        }
+        let m = self.end_max.load(Ordering::Acquire);
+        if cnt + n == m {
+            let mut e = self.end.load(Ordering::Relaxed);
+            while e < m {
+                match self
+                    .end
+                    .compare_exchange_weak(e, m, Ordering::AcqRel, Ordering::Relaxed)
+                {
+                    Ok(_) => break,
+                    Err(c) => e = c,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Push one item.
+    pub fn push(&self, item: T) -> Result<(), QueueFull> {
+        self.push_group(core::slice::from_ref(&item))
+    }
+
+    /// Pop up to `max` items with one CAS-reserved group claim.
+    ///
+    /// CAS lets the claim be bounded *exactly* by the published `end` (no
+    /// overshoot), so no claim state persists; `_state` is accepted for
+    /// interface parity.
+    pub fn pop_group(&self, _state: &mut PopState, max: usize, out: &mut Vec<T>) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        loop {
+            let s = self.start.load(Ordering::Relaxed);
+            let e = self.end.load(Ordering::Acquire);
+            if e <= s {
+                return 0;
+            }
+            let take = (max as u64).min(e - s);
+            if self
+                .start
+                .compare_exchange_weak(s, s + take, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+            {
+                continue;
+            }
+            for i in 0..take {
+                // SAFETY: `[s, s+take)` < end (published) and exclusively
+                // claimed by the successful CAS.
+                let v = unsafe { (*self.slots[(s + i) as usize].get()).assume_init() };
+                out.push(v);
+            }
+            return take as usize;
+        }
+    }
+
+    /// Pop one item.
+    pub fn pop(&self) -> Option<T> {
+        let mut buf = Vec::with_capacity(1);
+        let mut st = PopState::new();
+        if self.pop_group(&mut st, 1, &mut buf) == 1 {
+            Some(buf[0])
+        } else {
+            None
+        }
+    }
+
+    /// Published-but-unclaimed item count.
+    pub fn len(&self) -> usize {
+        let e = self.end.load(Ordering::Acquire);
+        let s = self.start.load(Ordering::Relaxed);
+        e.saturating_sub(s) as usize
+    }
+
+    /// Whether the queue currently looks empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Publication frontier (diagnostics / tests).
+    pub fn published(&self) -> u64 {
+        self.end.load(Ordering::Acquire)
+    }
+
+    /// Reset for a new epoch (exclusive access).
+    pub fn reset(&mut self) {
+        *self.start.get_mut() = 0;
+        *self.end.get_mut() = 0;
+        *self.end_alloc.get_mut() = 0;
+        *self.end_max.get_mut() = 0;
+        *self.end_count.get_mut() = 0;
+    }
+}
+
+impl<T: Copy + Send> ConcurrentQueue<T> for CasQueue<T> {
+    fn push_group(&self, items: &[T]) -> Result<(), QueueFull> {
+        CasQueue::push_group(self, items)
+    }
+    fn pop_group(&self, state: &mut PopState, max: usize, out: &mut Vec<T>) -> usize {
+        CasQueue::pop_group(self, state, max, out)
+    }
+    fn len(&self) -> usize {
+        CasQueue::len(self)
+    }
+}
+
+impl<T> core::fmt::Debug for CasQueue<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CasQueue")
+            .field("capacity", &self.slots.len())
+            .field("start", &self.start.load(Ordering::Relaxed))
+            .field("end", &self.end.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = CasQueue::with_capacity(8);
+        q.push_group(&[1u32, 2, 3]).unwrap();
+        let mut st = PopState::new();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_group(&mut st, 2, &mut out), 2);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn overflow_detected_without_corruption() {
+        let q = CasQueue::with_capacity(2);
+        q.push_group(&[1u8, 2]).unwrap();
+        assert!(q.push(3).is_err());
+        // CAS reservation is not consumed on failure: a smaller push that
+        // fits can still proceed after poppers drain... (arena: it cannot,
+        // but the cursor was not inflated by the failed attempt).
+        let mut st = PopState::new();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_group(&mut st, 4, &mut out), 2);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn pop_never_exceeds_published() {
+        let q = CasQueue::with_capacity(16);
+        q.push_group(&[9u32; 5]).unwrap();
+        let mut st = PopState::new();
+        let mut out = Vec::new();
+        assert_eq!(q.pop_group(&mut st, 100, &mut out), 5);
+        assert_eq!(q.pop_group(&mut st, 100, &mut out), 0);
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves() {
+        let producers = 4;
+        let per = 5_000;
+        let q = Arc::new(CasQueue::with_capacity(producers * per));
+        let mut all: Vec<Vec<u64>> = Vec::new();
+        std::thread::scope(|s| {
+            for t in 0..producers {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for chunk in (0..per as u64).collect::<Vec<_>>().chunks(32) {
+                        let items: Vec<u64> =
+                            chunk.iter().map(|i| (t * per) as u64 + i).collect();
+                        q.push_group(&items).unwrap();
+                    }
+                });
+            }
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let q = Arc::clone(&q);
+                handles.push(s.spawn(move || {
+                    let mut st = PopState::new();
+                    let mut mine = Vec::new();
+                    let goal = (producers * per) as u64;
+                    loop {
+                        let got = q.pop_group(&mut st, 19, &mut mine);
+                        if got == 0 {
+                            if q.published() == goal && q.is_empty() {
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                    mine
+                }));
+            }
+            for h in handles {
+                all.push(h.join().unwrap());
+            }
+        });
+        let mut seen: Vec<u64> = all.into_iter().flatten().collect();
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..(producers * per) as u64).collect();
+        assert_eq!(seen, expect);
+    }
+}

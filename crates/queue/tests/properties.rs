@@ -1,0 +1,158 @@
+//! Property-based tests for the queue family: semantic invariants over
+//! arbitrary operation sequences, plus randomized multi-threaded
+//! conservation checks.
+
+use proptest::prelude::*;
+
+use atos_queue::broker::BrokerQueue;
+use atos_queue::cas::CasQueue;
+use atos_queue::counter::CounterQueue;
+use atos_queue::{ConcurrentQueue, PopState};
+
+/// Drive any queue single-threaded with an arbitrary push/pop script and
+/// check exact FIFO semantics against a model VecDeque.
+fn check_fifo_model<Q: ConcurrentQueue<u64>>(q: &Q, script: &[(bool, u8)]) {
+    let mut model: std::collections::VecDeque<u64> = Default::default();
+    let mut st = PopState::new();
+    let mut next = 0u64;
+    let mut out = Vec::new();
+    for &(is_push, amount) in script {
+        let k = amount as usize % 40 + 1;
+        if is_push {
+            let items: Vec<u64> = (next..next + k as u64).collect();
+            next += k as u64;
+            if q.push_group(&items).is_ok() {
+                model.extend(items);
+            }
+        } else {
+            out.clear();
+            let got = q.pop_group(&mut st, k, &mut out);
+            assert!(got <= k);
+            for &v in &out[..got] {
+                assert_eq!(Some(v), model.pop_front(), "FIFO order violated");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn counter_queue_is_fifo(script in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..200)) {
+        let q = CounterQueue::with_capacity(16 * 1024);
+        check_fifo_model(&q, &script);
+    }
+
+    #[test]
+    fn cas_queue_is_fifo(script in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..200)) {
+        let q = CasQueue::with_capacity(16 * 1024);
+        check_fifo_model(&q, &script);
+    }
+
+    #[test]
+    fn broker_queue_is_fifo(script in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..200)) {
+        let q = BrokerQueue::with_capacity(16 * 1024);
+        check_fifo_model(&q, &script);
+    }
+
+    /// Arena overflow never corrupts already-queued items.
+    #[test]
+    fn counter_overflow_preserves_prefix(cap in 1usize..64, extra in 1usize..64) {
+        let q = CounterQueue::with_capacity(cap);
+        let first: Vec<u64> = (0..cap as u64).collect();
+        q.push_group(&first).unwrap();
+        let over: Vec<u64> = (0..extra as u64).map(|v| v + 1000).collect();
+        prop_assert!(q.push_group(&over).is_err());
+        let mut st = PopState::new();
+        let mut out = Vec::new();
+        while q.pop_group(&mut st, 8, &mut out) > 0 {}
+        prop_assert_eq!(out, first);
+    }
+
+    /// Randomized concurrent conservation: P producers push disjoint
+    /// ranges in arbitrary group sizes, C consumers drain; every item is
+    /// seen exactly once.
+    #[test]
+    fn counter_concurrent_conservation(
+        producers in 1usize..5,
+        consumers in 1usize..5,
+        per in 64usize..512,
+        group in 1usize..64,
+    ) {
+        let total = producers * per;
+        let q = std::sync::Arc::new(CounterQueue::<u64>::with_capacity(total));
+        let mut harvested: Vec<Vec<u64>> = Vec::new();
+        std::thread::scope(|s| {
+            for t in 0..producers {
+                let q = q.clone();
+                s.spawn(move || {
+                    let items: Vec<u64> = (0..per as u64).map(|i| (t * per) as u64 + i).collect();
+                    for chunk in items.chunks(group) {
+                        q.push_group(chunk).unwrap();
+                    }
+                });
+            }
+            let mut handles = Vec::new();
+            for _ in 0..consumers {
+                let q = q.clone();
+                handles.push(s.spawn(move || {
+                    let mut st = PopState::new();
+                    let mut mine = Vec::new();
+                    loop {
+                        let got = q.pop_group(&mut st, group, &mut mine);
+                        if got == 0 {
+                            if q.published() == total as u64 && q.is_empty() {
+                                st.abandon();
+                                break;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                    mine
+                }));
+            }
+            for h in handles {
+                harvested.push(h.join().unwrap());
+            }
+        });
+        let mut seen: Vec<u64> = harvested.into_iter().flatten().collect();
+        seen.sort_unstable();
+        let expect: Vec<u64> = (0..total as u64).collect();
+        prop_assert_eq!(seen, expect);
+    }
+}
+
+/// The three families agree on any single-threaded script (differential
+/// test: same script, same results).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn families_agree(script in proptest::collection::vec((any::<bool>(), any::<u8>()), 1..120)) {
+        fn run<Q: ConcurrentQueue<u64>>(q: &Q, script: &[(bool, u8)]) -> Vec<u64> {
+            let mut st = PopState::new();
+            let mut popped = Vec::new();
+            let mut next = 0u64;
+            for &(is_push, amount) in script {
+                let k = amount as usize % 16 + 1;
+                if is_push {
+                    let items: Vec<u64> = (next..next + k as u64).collect();
+                    next += k as u64;
+                    let _ = q.push_group(&items);
+                } else {
+                    q.pop_group(&mut st, k, &mut popped);
+                }
+            }
+            popped
+        }
+        let counter = CounterQueue::with_capacity(8192);
+        let cas = CasQueue::with_capacity(8192);
+        let broker = BrokerQueue::with_capacity(8192);
+        let a = run(&counter, &script);
+        let b = run(&cas, &script);
+        let c = run(&broker, &script);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+}

@@ -1,0 +1,214 @@
+//! Virtual clock and event heap.
+//!
+//! A minimal, allocation-light discrete-event core: events are any payload
+//! type `E`; the runtime (in `atos-core`) owns the dispatch loop so this
+//! crate never needs trait objects or actor plumbing. Determinism is
+//! guaranteed by a (time, sequence) total order: events scheduled at equal
+//! times fire in scheduling order, so a run is a pure function of its
+//! inputs and seeds.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in nanoseconds.
+pub type Time = u64;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    at: Time,
+    seq: u64,
+}
+
+struct Scheduled<E> {
+    key: Key,
+    event: E,
+}
+
+// Order by key only; BinaryHeap is a max-heap so wrap in Reverse at use.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Discrete-event engine: a clock plus a deterministic pending-event heap.
+///
+/// ```
+/// use atos_sim::Engine;
+/// let mut e = Engine::new();
+/// e.schedule_at(20, "later");
+/// e.schedule_at(10, "sooner");
+/// assert_eq!(e.pop(), Some((10, "sooner")));
+/// assert_eq!(e.now(), 10);
+/// assert_eq!(e.pop(), Some((20, "later")));
+/// assert!(e.is_idle());
+/// ```
+pub struct Engine<E> {
+    now: Time,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Fresh engine at time zero.
+    pub fn new() -> Self {
+        Self {
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last event popped).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// `at` earlier than `now` is clamped to `now`: an event can never fire
+    /// in the past (this arises naturally when a handler computes an arrival
+    /// time from stale link state).
+    pub fn schedule_at(&mut self, at: Time, event: E) {
+        let at = at.max(self.now);
+        let key = Key { at, seq: self.seq };
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { key, event }));
+    }
+
+    /// Schedule `event` after a `delay` relative to now.
+    pub fn schedule_in(&mut self, delay: Time, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        debug_assert!(s.key.at >= self.now, "time went backwards");
+        self.now = s.key.at;
+        self.processed += 1;
+        Some((s.key.at, s.event))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(s)| s.key.at)
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events remain (simulation termination).
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events processed so far (diagnostics and runaway guards).
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+impl<E> core::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut e = Engine::new();
+        e.schedule_at(30, "c");
+        e.schedule_at(10, "a");
+        e.schedule_at(20, "b");
+        let order: Vec<_> = std::iter::from_fn(|| e.pop()).collect();
+        assert_eq!(order, vec![(10, "a"), (20, "b"), (30, "c")]);
+    }
+
+    #[test]
+    fn equal_times_fire_in_schedule_order() {
+        let mut e = Engine::new();
+        for i in 0..100 {
+            e.schedule_at(5, i);
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| e.pop()).map(|(_, v)| v).collect();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut e = Engine::new();
+        e.schedule_at(10, ());
+        e.pop();
+        assert_eq!(e.now(), 10);
+        // Scheduling "in the past" clamps to now.
+        e.schedule_at(3, ());
+        let (t, _) = e.pop().unwrap();
+        assert_eq!(t, 10);
+        assert_eq!(e.now(), 10);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut e = Engine::new();
+        e.schedule_at(100, 1);
+        e.pop();
+        e.schedule_in(5, 2);
+        assert_eq!(e.peek_time(), Some(105));
+    }
+
+    #[test]
+    fn bookkeeping_counters() {
+        let mut e = Engine::new();
+        assert!(e.is_idle());
+        e.schedule_at(1, ());
+        e.schedule_at(2, ());
+        assert_eq!(e.pending(), 2);
+        e.pop();
+        assert_eq!(e.processed(), 1);
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn interleaved_scheduling_stays_deterministic() {
+        // Handlers scheduling new events at the current time must run after
+        // already-queued same-time events, in scheduling order.
+        let mut e = Engine::new();
+        e.schedule_at(10, 0u32);
+        e.schedule_at(10, 1);
+        let (_, first) = e.pop().unwrap();
+        assert_eq!(first, 0);
+        e.schedule_at(10, 2);
+        let rest: Vec<u32> = std::iter::from_fn(|| e.pop()).map(|(_, v)| v).collect();
+        assert_eq!(rest, vec![1, 2]);
+    }
+}

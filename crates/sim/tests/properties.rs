@@ -1,0 +1,100 @@
+//! Property-based tests for the simulator substrates.
+
+use proptest::prelude::*;
+
+use atos_sim::engine::Engine;
+use atos_sim::packet::PacketModel;
+use atos_sim::{ControlPath, Fabric, GpuCostModel, PeId};
+
+const MODELS: [PacketModel; 4] = [
+    PacketModel::NvLink,
+    PacketModel::PcieGen3,
+    PacketModel::Infiniband,
+    PacketModel::Ideal,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Framing never shrinks a payload, and efficiency stays in (0, 1].
+    #[test]
+    fn wire_bytes_dominate_payload(payload in 1u64..10_000_000) {
+        for m in MODELS {
+            let wire = m.wire_bytes(payload);
+            prop_assert!(wire >= payload, "{m:?}");
+            let eff = m.efficiency(payload);
+            prop_assert!(eff > 0.0 && eff <= 1.0, "{m:?}: {eff}");
+        }
+    }
+
+    /// Wire bytes are monotone in payload.
+    #[test]
+    fn wire_bytes_monotone(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for m in MODELS {
+            prop_assert!(m.wire_bytes(lo) <= m.wire_bytes(hi), "{m:?}");
+        }
+    }
+
+    /// The engine pops any schedule in nondecreasing time order, stably.
+    #[test]
+    fn engine_orders_any_schedule(times in proptest::collection::vec(0u64..1000, 1..300)) {
+        let mut e = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            e.schedule_at(t, i);
+        }
+        let mut last = (0u64, 0usize);
+        let mut count = 0;
+        while let Some((t, i)) = e.pop() {
+            if count > 0 {
+                prop_assert!(t > last.0 || (t == last.0 && i > last.1),
+                    "stable time order violated");
+            }
+            last = (t, i);
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Uncontended transfers match their estimates; contended ones are
+    /// never faster.
+    #[test]
+    fn transfer_at_least_estimate(
+        payloads in proptest::collection::vec(1u64..500_000, 1..20),
+    ) {
+        let mut f = Fabric::ib_cluster(3);
+        let cp = ControlPath::gpu_direct();
+        let mut clock = 0u64;
+        for &p in &payloads {
+            let est = f.estimate(PeId(0), PeId(1), p, cp);
+            let arrive = f.transfer(clock, PeId(0), PeId(1), p, cp);
+            prop_assert!(arrive >= clock + est, "arrival before physics allows");
+            clock += 17; // issue closely spaced to force contention
+        }
+    }
+
+    /// Arrival times on one link are monotone in issue order.
+    #[test]
+    fn link_arrivals_monotone(payloads in proptest::collection::vec(1u64..100_000, 2..30)) {
+        let mut f = Fabric::daisy(2);
+        let cp = ControlPath::gpu_direct();
+        let mut prev = 0u64;
+        for (i, &p) in payloads.iter().enumerate() {
+            let arrive = f.transfer(i as u64, PeId(0), PeId(1), p, cp);
+            prop_assert!(arrive >= prev);
+            prev = arrive;
+        }
+    }
+
+    /// Cost model: time is monotone in tasks and edges, and saturated
+    /// throughput never exceeds the span-bounded estimate.
+    #[test]
+    fn cost_model_monotone(tasks in 1usize..10_000, edges in 0u64..1_000_000, span in 0u64..5_000) {
+        let m = GpuCostModel::v100();
+        let span = span.min(edges);
+        let t = m.step_ns(tasks, edges, span, false);
+        prop_assert!(t >= m.step_ns(tasks, edges, span, true));
+        prop_assert!(m.step_ns(tasks + 1, edges + 10, span, false) >= 1);
+        prop_assert!(m.step_ns(tasks, edges + 100, span, false) >= t);
+    }
+}

@@ -1,0 +1,88 @@
+//! Road-network BFS: the paper's latency-bound scenario.
+//!
+//! High-diameter mesh graphs starve level-synchronous frameworks: thousands
+//! of thin frontiers mean thousands of kernel launches and synchronizations.
+//! This example traverses a road network on 4 NVLink GPUs with the four
+//! Table II schedulers and prints the runtime, workload, and traffic
+//! burstiness of each.
+//!
+//! ```bash
+//! cargo run --release --example bfs_road
+//! ```
+
+use std::sync::Arc;
+
+use atos::apps::bfs::run_bfs;
+use atos::baselines::{bsp_bfs, groute_bfs};
+use atos::core::AtosConfig;
+use atos::graph::generators::road_network;
+use atos::graph::partition::Partition;
+use atos::graph::reference;
+use atos::graph::stats::estimate_diameter;
+use atos::sim::Fabric;
+
+fn main() {
+    let graph = Arc::new(road_network(256, 256, 5));
+    let source = 0u32;
+    let partition = Arc::new(Partition::bfs_grow(&graph, 4, 9));
+    println!(
+        "road network: {} vertices, {} edges, diameter ≈ {}, edge cut {:.2}%",
+        graph.n_vertices(),
+        graph.n_edges(),
+        estimate_diameter(&graph),
+        partition.edge_cut(&graph) * 100.0
+    );
+
+    let want = reference::bfs(&graph, source);
+    println!(
+        "\n{:<42}{:>12}{:>12}{:>14}{:>12}",
+        "scheduler", "time (ms)", "kernels", "messages", "burstiness"
+    );
+
+    // Gunrock-like BSP.
+    let bsp = bsp_bfs(graph.clone(), partition.clone(), source, Fabric::daisy(4));
+    assert_eq!(bsp.depth, want);
+    print_row("Gunrock-like (BSP)", &bsp.stats);
+
+    // Groute-like (async, CPU control path).
+    let groute = groute_bfs(graph.clone(), partition.clone(), source, Fabric::daisy(4));
+    assert_eq!(groute.depth, want);
+    print_row("Groute-like (async, CPU control)", &groute.stats);
+
+    // Atos, both configurations.
+    for cfg in [
+        AtosConfig::standard_persistent(),
+        AtosConfig::priority_discrete(),
+    ] {
+        let run = run_bfs(
+            graph.clone(),
+            partition.clone(),
+            source,
+            Fabric::daisy(4),
+            cfg,
+        );
+        assert_eq!(run.depth, want);
+        print_row(&cfg.label(), &run.stats);
+    }
+
+    println!(
+        "\nAll four schedulers produced identical depths; the persistent-kernel"
+    );
+    println!("Atos configuration wins because the mesh's {} levels never pay a", estimate_diameter(&graph));
+    println!("kernel launch, and its one-sided pushes cross GPU boundaries at");
+    println!("NVLink latency instead of a CPU round trip.");
+}
+
+fn print_row(name: &str, stats: &atos::core::RunStats) {
+    println!(
+        "{:<42}{:>12.3}{:>12}{:>14}{:>12}",
+        name,
+        stats.elapsed_ms(),
+        stats.steps_per_pe.iter().sum::<u64>(),
+        stats.messages,
+        stats
+            .burstiness
+            .map(|b| format!("{b:.2}"))
+            .unwrap_or_else(|| "-".into())
+    );
+}

@@ -1,0 +1,93 @@
+//! Delta-stepping SSSP: the priority queue earning its keep.
+//!
+//! The paper's `DistributedPriorityQueues` (threshold + threshold_delta)
+//! is delta-stepping's bucket structure. This example sweeps the bucket
+//! width Δ for shortest paths on a weighted road network and shows the
+//! classic trade-off the priority queue controls: small Δ approaches
+//! Dijkstra's work efficiency but exposes little parallelism; large Δ
+//! (or FIFO scheduling) floods the machine with speculative relaxations.
+//!
+//! ```bash
+//! cargo run --release --example sssp_delta
+//! ```
+
+use std::sync::Arc;
+
+use atos::apps::sssp::run_sssp;
+use atos::core::{AtosConfig, KernelMode, QueueMode};
+use atos::graph::generators::road_network;
+use atos::graph::partition::Partition;
+use atos::graph::weights::{dijkstra, EdgeWeights};
+use atos::sim::Fabric;
+
+fn main() {
+    let graph = Arc::new(road_network(192, 192, 8));
+    let weights = Arc::new(EdgeWeights::random(&graph, 64, 3));
+    let partition = Arc::new(Partition::bfs_grow(&graph, 4, 2));
+    let source = 0u32;
+    println!(
+        "weighted road network: {} vertices, {} edges, weights 1..={}",
+        graph.n_vertices(),
+        graph.n_edges(),
+        weights.max()
+    );
+
+    let exact = dijkstra(&graph, &weights, source);
+
+    println!(
+        "\n{:<28}{:>12}{:>16}{:>16}",
+        "scheduler", "time (ms)", "relaxations", "work efficiency"
+    );
+    // FIFO baseline.
+    let fifo = run_sssp(
+        graph.clone(),
+        weights.clone(),
+        partition.clone(),
+        source,
+        1,
+        Fabric::daisy(4),
+        AtosConfig::standard_persistent(),
+    );
+    assert_eq!(fifo.dist, exact);
+    println!(
+        "{:<28}{:>12.3}{:>16}{:>16.3}",
+        "FIFO (standard queue)",
+        fifo.stats.elapsed_ms(),
+        fifo.stats.total_tasks(),
+        fifo.work_efficiency()
+    );
+
+    // Priority queue across a sweep of Δ.
+    for delta in [1u64, 4, 16, 64, 256, 1024] {
+        let cfg = AtosConfig {
+            kernel: KernelMode::Discrete,
+            queue: QueueMode::Priority {
+                threshold: 1,
+                threshold_delta: 1,
+            },
+            ..AtosConfig::standard_persistent()
+        };
+        let run = run_sssp(
+            graph.clone(),
+            weights.clone(),
+            partition.clone(),
+            source,
+            delta,
+            Fabric::daisy(4),
+            cfg,
+        );
+        assert_eq!(run.dist, exact, "delta={delta}");
+        println!(
+            "{:<28}{:>12.3}{:>16}{:>16.3}",
+            format!("priority, delta = {delta}"),
+            run.stats.elapsed_ms(),
+            run.stats.total_tasks(),
+            run.work_efficiency()
+        );
+    }
+
+    println!("\nAll schedules produce exact Dijkstra distances; the priority");
+    println!("queue trades speculation (relaxations above the ideal 1.0) against");
+    println!("bucket-level parallelism — the knob the paper's distributed");
+    println!("priority queue exposes as threshold_delta.");
+}

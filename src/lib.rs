@@ -1,0 +1,14 @@
+//! Atos — facade crate re-exporting the workspace.
+//!
+//! A Rust reproduction of *Scalable Irregular Parallelism with GPUs: Getting
+//! CPUs Out of the Way* (SC 2022). See the README and DESIGN.md for the
+//! system inventory; each sub-crate carries its own module docs.
+
+#![warn(missing_docs)]
+
+pub use atos_apps as apps;
+pub use atos_baselines as baselines;
+pub use atos_core as core;
+pub use atos_graph as graph;
+pub use atos_queue as queue;
+pub use atos_sim as sim;

@@ -1,0 +1,117 @@
+//! Integration tests for the supporting substrates through the facade:
+//! file IO round trips, distributed sharding, weighted SSSP on the
+//! simulator, CC on InfiniBand, and the host backend via the facade.
+
+use std::sync::Arc;
+
+use atos::apps::cc::run_cc;
+use atos::apps::host_bfs::host_bfs;
+use atos::apps::sssp::run_sssp;
+use atos::core::AtosConfig;
+use atos::graph::distributed::DistGraph;
+use atos::graph::generators::{road_network, rmat, Preset, Scale};
+use atos::graph::io::{read_matrix_market, write_dimacs, write_matrix_market, read_dimacs};
+use atos::graph::partition::Partition;
+use atos::graph::weights::{connected_components, dijkstra, EdgeWeights};
+use atos::graph::reference;
+use atos::sim::Fabric;
+
+#[test]
+fn io_roundtrip_through_files() {
+    let g = rmat(9, 3000, (0.57, 0.19, 0.19, 0.05), 12);
+    let dir = std::env::temp_dir().join("atos-io-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let mm = dir.join("graph.mtx");
+    write_matrix_market(&g, std::fs::File::create(&mm).unwrap()).unwrap();
+    let back = read_matrix_market(std::fs::File::open(&mm).unwrap()).unwrap();
+    assert_eq!(back, g);
+
+    let gr = dir.join("graph.gr");
+    write_dimacs(&g, std::fs::File::create(&gr).unwrap()).unwrap();
+    let back = read_dimacs(std::fs::File::open(&gr).unwrap()).unwrap();
+    assert_eq!(back, g);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn imported_graph_runs_the_full_pipeline() {
+    // Export a preset, reimport it, shard it, BFS it on the simulator and
+    // on the host backend — all answers agree.
+    let p = Preset::by_name("hollywood_2009_s").unwrap();
+    let g0 = p.build(Scale::Tiny);
+    let mut buf = Vec::new();
+    write_matrix_market(&g0, &mut buf).unwrap();
+    let g = Arc::new(read_matrix_market(&buf[..]).unwrap());
+    assert_eq!(*g, g0);
+
+    let part = Arc::new(Partition::bfs_grow(&g, 3, 4));
+    let dist = DistGraph::build(&g, &part);
+    assert!(dist.validate_against(&g, &part));
+
+    let src = p.bfs_source(&g);
+    let want = reference::bfs(&g, src);
+    let sim = atos::apps::bfs::run_bfs(
+        g.clone(),
+        part.clone(),
+        src,
+        Fabric::daisy(3),
+        AtosConfig::standard_persistent(),
+    );
+    assert_eq!(sim.depth, want);
+    let host = host_bfs(g, part, src, None);
+    assert_eq!(host.depth, want);
+}
+
+#[test]
+fn weighted_sssp_on_ib_with_aggregator() {
+    let g = Arc::new(road_network(40, 40, 6));
+    let w = Arc::new(EdgeWeights::random(&g, 32, 2));
+    let part = Arc::new(Partition::block(g.n_vertices(), 4));
+    let run = run_sssp(
+        g.clone(),
+        w.clone(),
+        part,
+        0,
+        8,
+        Fabric::ib_cluster(4),
+        AtosConfig::ib_bfs(),
+    );
+    assert_eq!(run.dist, dijkstra(&g, &w, 0));
+    assert!(run.stats.messages > 0, "aggregated bundles flowed");
+}
+
+#[test]
+fn cc_on_ib_cluster() {
+    let p = Preset::by_name("soc-LiveJournal1_s").unwrap();
+    let g = Arc::new(p.build(Scale::Tiny).symmetrize());
+    let part = Arc::new(Partition::random(g.n_vertices(), 6, 3));
+    let run = run_cc(
+        g.clone(),
+        part,
+        Fabric::ib_cluster(6),
+        AtosConfig::ib_bfs(),
+    );
+    assert_eq!(run.label, connected_components(&g));
+}
+
+#[test]
+fn worker_cost_models_order_correctly() {
+    use atos::core::{WorkerConfig, WorkerSize};
+    let thread = WorkerConfig {
+        size: WorkerSize::Thread,
+        fetch: 1,
+        num_workers: 160,
+    }
+    .cost_model();
+    let warp = WorkerConfig {
+        size: WorkerSize::Warp,
+        fetch: 32,
+        num_workers: 160,
+    }
+    .cost_model();
+    let cta = WorkerConfig::cta512().cost_model();
+    assert!(thread.edge_ns > warp.edge_ns);
+    assert!(warp.edge_ns > cta.edge_ns);
+}
