@@ -216,9 +216,9 @@ mod tests {
         let src = p.bfs_source(&g);
         let run = check(&g, &w, src, 2, AtosConfig::standard_persistent(), 1);
         let depths = atos_graph::reference::bfs(&g, src);
-        for v in 0..g.n_vertices() {
-            if depths[v] != u32::MAX {
-                assert_eq!(run.dist[v], depths[v] as u64);
+        for (v, &depth) in depths.iter().enumerate() {
+            if depth != u32::MAX {
+                assert_eq!(run.dist[v], depth as u64);
             }
         }
     }

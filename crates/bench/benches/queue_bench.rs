@@ -1,9 +1,16 @@
 //! Criterion benchmarks for the Figure 1 queue comparison — wall-clock
 //! time of the three contention experiments across the five queue
 //! configurations, on real host threads.
+//!
+//! Like the fig1_queue binary, the measurements themselves stay serial:
+//! the queues are contention benchmarks on real threads, and concurrent
+//! sweep workers would steal their cores. The explicit `main` (instead of
+//! `criterion_main!`) lets the run record wall-clock + thread count into
+//! the shared `results/BENCH_sweep.json` report.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 
+use atos_bench::sweep::{BenchArgs, SweepReport};
 use atos_queue::bench_harness::{run, Experiment, QueueKind};
 
 fn bench_queues(c: &mut Criterion) {
@@ -25,4 +32,15 @@ fn bench_queues(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_queues);
-criterion_main!(benches);
+
+fn main() {
+    // Measurement is serial by design (see module docs); threads is
+    // recorded as 1 in the report to say so.
+    let args = BenchArgs {
+        threads: 1,
+        ..BenchArgs::parse_from(&[], None, 1).expect("static args")
+    };
+    let report = SweepReport::start("queue_bench", &args);
+    benches();
+    report.finish();
+}

@@ -4,13 +4,17 @@
 //! communication "smooths the spikes in network communication that
 //! typically occur when communication is isolated in a single phase".
 //! This binary quantifies it: traffic burstiness (coefficient of variation
-//! of wire bytes per 50 µs bucket) and peak-to-mean ratio for each
-//! framework on the same workload.
+//! of wire bytes per [`atos_sim::trace::BUCKET_NS`] bucket) and
+//! peak-to-mean ratio for each framework on the same workload.
+//!
+//! The five framework runs are independent; each is one sweep cell.
 
 use atos_apps::bfs::run_bfs;
 use atos_apps::pagerank::run_pagerank;
 use atos_baselines::{bsp_bfs, bsp_pagerank, groute_bfs};
-use atos_bench::{scale_from_args, Dataset, ALPHA, EPSILON};
+use atos_bench::{
+    sweep::record_sim_events, BenchArgs, Dataset, SweepReport, SweepRunner, ALPHA, EPSILON,
+};
 use atos_core::{AtosConfig, RunStats};
 use atos_graph::generators::Preset;
 use atos_sim::Fabric;
@@ -27,8 +31,9 @@ fn row(name: &str, stats: &RunStats) {
 }
 
 fn main() {
-    let scale = scale_from_args();
-    let ds = Dataset::build(Preset::by_name("soc-LiveJournal1_s").unwrap(), scale);
+    let args = BenchArgs::parse();
+    let report = SweepReport::start("ablation_smoothing", &args);
+    let ds = Dataset::build(Preset::by_name("soc-LiveJournal1_s").unwrap(), args.scale);
     let part = ds.partition(4);
 
     println!("Communication smoothing, BFS + PageRank on soc-LiveJournal1_s, 4 GPUs\n");
@@ -37,32 +42,53 @@ fn main() {
         "framework", "time (ms)", "messages", "burstiness", "wire MB"
     );
 
-    let bsp = bsp_bfs(ds.graph.clone(), part.clone(), ds.source, Fabric::daisy(4));
-    row("BFS: Gunrock-like (BSP)", &bsp.stats);
-    let groute = groute_bfs(ds.graph.clone(), part.clone(), ds.source, Fabric::daisy(4));
-    row("BFS: Groute-like", &groute.stats);
-    let atos = run_bfs(
-        ds.graph.clone(),
-        part.clone(),
-        ds.source,
-        Fabric::daisy(4),
-        AtosConfig::standard_persistent(),
-    );
-    row("BFS: Atos (queue+persistent)", &atos.stats);
-
-    let bsp_pr = bsp_pagerank(ds.graph.clone(), part.clone(), ALPHA, EPSILON, Fabric::daisy(4));
-    row("PR: Gunrock-like (BSP)", &bsp_pr.stats);
-    let atos_pr = run_pagerank(
-        ds.graph.clone(),
-        part.clone(),
-        ALPHA,
-        EPSILON,
-        Fabric::daisy(4),
-        AtosConfig::standard_persistent(),
-    );
-    row("PR: Atos (queue+persistent)", &atos_pr.stats);
+    let labels = [
+        "BFS: Gunrock-like (BSP)",
+        "BFS: Groute-like",
+        "BFS: Atos (queue+persistent)",
+        "PR: Gunrock-like (BSP)",
+        "PR: Atos (queue+persistent)",
+    ];
+    let cells: Vec<usize> = (0..labels.len()).collect();
+    let runs = SweepRunner::from_args(&args).run(&cells, |_, &which| {
+        let stats = match which {
+            0 => bsp_bfs(ds.graph.clone(), part.clone(), ds.source, Fabric::daisy(4)).stats,
+            1 => groute_bfs(ds.graph.clone(), part.clone(), ds.source, Fabric::daisy(4)).stats,
+            2 => {
+                run_bfs(
+                    ds.graph.clone(),
+                    part.clone(),
+                    ds.source,
+                    Fabric::daisy(4),
+                    AtosConfig::standard_persistent(),
+                )
+                .stats
+            }
+            3 => {
+                bsp_pagerank(ds.graph.clone(), part.clone(), ALPHA, EPSILON, Fabric::daisy(4))
+                    .stats
+            }
+            _ => {
+                run_pagerank(
+                    ds.graph.clone(),
+                    part.clone(),
+                    ALPHA,
+                    EPSILON,
+                    Fabric::daisy(4),
+                    AtosConfig::standard_persistent(),
+                )
+                .stats
+            }
+        };
+        record_sim_events(stats.sim_events);
+        stats
+    });
+    for (label, stats) in labels.iter().zip(&runs) {
+        row(label, stats);
+    }
 
     println!("\nLower burstiness = smoother interconnect usage. BSP isolates all");
     println!("traffic at iteration barriers; Atos issues one-sided pushes from");
     println!("inside the kernel, spreading bytes across the whole runtime.");
+    report.finish();
 }

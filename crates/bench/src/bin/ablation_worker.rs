@@ -6,16 +6,19 @@
 //! simulator's cost model: smaller workers lose neighbor-list coalescing
 //! (higher per-edge cost), larger fetch amortizes pops but delays
 //! communication.
+//!
+//! Each (worker shape, fetch) point is one sweep cell.
 
 use atos_apps::bfs::BfsApp;
-use atos_bench::{scale_from_args, Dataset};
+use atos_bench::{sweep::record_sim_events, BenchArgs, Dataset, SweepReport, SweepRunner};
 use atos_core::{AtosConfig, Runtime, WorkerConfig, WorkerSize};
 use atos_graph::generators::Preset;
 use atos_sim::Fabric;
 
 fn main() {
-    let scale = scale_from_args();
-    let ds = Dataset::build(Preset::by_name("soc-LiveJournal1_s").unwrap(), scale);
+    let args = BenchArgs::parse();
+    let report = SweepReport::start("ablation_worker", &args);
+    let ds = Dataset::build(Preset::by_name("soc-LiveJournal1_s").unwrap(), args.scale);
     let part = ds.partition(4);
 
     println!("Worker-shape ablation: BFS soc-LiveJournal1_s, 4 NVLink GPUs\n");
@@ -29,32 +32,40 @@ fn main() {
         ("cta-256", WorkerSize::Cta(256)),
         ("cta-512", WorkerSize::Cta(512)),
     ];
-    for (name, size) in shapes {
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for s in 0..shapes.len() {
         for fetch in [8usize, 32, 128] {
-            let worker = WorkerConfig {
-                size,
-                fetch,
-                num_workers: 160,
-            };
-            let cfg = AtosConfig {
-                worker,
-                ..AtosConfig::standard_persistent()
-            };
-            let app = BfsApp::new(ds.graph.clone(), part.clone(), ds.source);
-            let mut rt =
-                Runtime::with_cost_model(app, Fabric::daisy(4), cfg, worker.cost_model());
-            rt.seed(part.owner(ds.source), [(ds.source, 0u32)]);
-            let stats = rt.run();
-            println!(
-                "{:<14}{:>8}{:>14.3}{:>14}{:>12}",
-                name,
-                fetch,
-                stats.elapsed_ms(),
-                stats.steps_per_pe.iter().sum::<u64>(),
-                stats.messages
-            );
+            cells.push((s, fetch));
         }
+    }
+    let rows = SweepRunner::from_args(&args).run(&cells, |_, &(s, fetch)| {
+        let worker = WorkerConfig {
+            size: shapes[s].1,
+            fetch,
+            num_workers: 160,
+        };
+        let cfg = AtosConfig {
+            worker,
+            ..AtosConfig::standard_persistent()
+        };
+        let app = BfsApp::new(ds.graph.clone(), part.clone(), ds.source);
+        let mut rt = Runtime::with_cost_model(app, Fabric::daisy(4), cfg, worker.cost_model());
+        rt.seed(part.owner(ds.source), [(ds.source, 0u32)]);
+        let stats = rt.run();
+        record_sim_events(stats.sim_events);
+        format!(
+            "{:<14}{:>8}{:>14.3}{:>14}{:>12}",
+            shapes[s].0,
+            fetch,
+            stats.elapsed_ms(),
+            stats.steps_per_pe.iter().sum::<u64>(),
+            stats.messages
+        )
+    });
+    for r in rows {
+        println!("{r}");
     }
     println!("\nCTA workers win on scale-free graphs: coalesced neighbor-list");
     println!("reads dominate, and the per-pop overhead amortizes across lanes.");
+    report.finish();
 }

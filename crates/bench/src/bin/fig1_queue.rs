@@ -4,14 +4,21 @@
 //!
 //! This is the one experiment that runs on *real host threads and
 //! atomics*, not the simulator — the queue algorithms are memory-model
-//! constructs and their contention behavior is measured directly.
+//! constructs and their contention behavior is measured directly. For
+//! that reason the measurement loop stays serial regardless of
+//! `--threads`: fanning contention measurements over sweep workers would
+//! have them steal each other's cores and corrupt the timings. The flag
+//! is still accepted (and recorded in the report) for interface
+//! uniformity.
 
+use atos_bench::{BenchArgs, SweepReport};
+use atos_graph::generators::Scale;
 use atos_queue::bench_harness::{run, Experiment, QueueKind, OPS_PER_VIRTUAL_THREAD};
 
 fn main() {
-    atos_bench::pipe_friendly();
-    let quick = std::env::args().any(|a| a == "--quick");
-    let points: Vec<usize> = if quick {
+    let args = BenchArgs::parse();
+    let report = SweepReport::start("fig1_queue", &args);
+    let points: Vec<usize> = if args.scale == Scale::Tiny {
         vec![1 << 10, 1 << 13]
     } else {
         vec![1 << 10, 1 << 12, 1 << 14, 1 << 15, 1 << 16, 96 * 1024, 128 * 1024]
@@ -40,4 +47,5 @@ fn main() {
             println!();
         }
     }
+    report.finish();
 }

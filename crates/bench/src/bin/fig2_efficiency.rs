@@ -1,10 +1,16 @@
 //! Figure 2: bandwidth efficiency (fraction of wire bytes that are
 //! payload) vs. requested bytes, on PCIe gen 3 and NVLink.
+//!
+//! The series are closed-form packet-model evaluations — far too cheap to
+//! be worth fanning out — so this binary only adopts the shared CLI and
+//! timing report.
 
+use atos_bench::{BenchArgs, SweepReport};
 use atos_sim::packet::{figure2_series, PacketModel};
 
 fn main() {
-    atos_bench::pipe_friendly();
+    let args = BenchArgs::parse();
+    let report = SweepReport::start("fig2_efficiency", &args);
     println!("Figure 2: bandwidth efficiency vs requested bytes");
     println!("{:<18}{:>14}{:>14}", "requested bytes", "PCIe gen 3", "NVLink");
     let pcie = figure2_series(PacketModel::PcieGen3);
@@ -18,4 +24,5 @@ fn main() {
             n.1 * 100.0
         );
     }
+    report.finish();
 }

@@ -1,27 +1,48 @@
 //! Table II: BFS runtimes in ms (speedup vs. Gunrock in parentheses) on
 //! Daisy (NVLink), 1–4 GPUs, four frameworks × six datasets.
+//!
+//! The 96 (framework, dataset, gpus) cells are independent simulated runs
+//! fanned over the sweep harness; results are keyed by grid index, so the
+//! table is byte-identical at any `--threads` setting.
 
-use atos_bench::{bfs_nvlink_ms, print_table_block, scale_from_args, Dataset, BFS_NVLINK_FRAMEWORKS};
+use atos_bench::{
+    bfs_nvlink_ms, print_table_block, BenchArgs, Dataset, SweepReport, SweepRunner,
+    BFS_NVLINK_FRAMEWORKS,
+};
 
 fn main() {
-    let scale = scale_from_args();
-    let datasets = Dataset::all(scale);
+    let args = BenchArgs::parse();
+    let report = SweepReport::start("table2_bfs_nvlink", &args);
+    let datasets = Dataset::all(args.scale);
     let gpus = [1usize, 2, 3, 4];
 
-    let mut matrices: Vec<Vec<(String, Vec<f64>)>> = Vec::new();
-    for fw in BFS_NVLINK_FRAMEWORKS {
-        let rows: Vec<(String, Vec<f64>)> = datasets
-            .iter()
-            .map(|ds| {
-                let ms: Vec<f64> = gpus.iter().map(|&g| bfs_nvlink_ms(fw, ds, g)).collect();
-                (
-                    format!("{}{}", ds.preset.name, ds.preset.kind.suffix()),
-                    ms,
-                )
-            })
-            .collect();
-        matrices.push(rows);
+    let mut cells: Vec<(usize, usize, usize)> = Vec::new();
+    for f in 0..BFS_NVLINK_FRAMEWORKS.len() {
+        for d in 0..datasets.len() {
+            for &g in &gpus {
+                cells.push((f, d, g));
+            }
+        }
     }
+    let ms = SweepRunner::from_args(&args).run(&cells, |_, &(f, d, g)| {
+        bfs_nvlink_ms(BFS_NVLINK_FRAMEWORKS[f], &datasets[d], g)
+    });
+
+    let mut it = ms.iter();
+    let matrices: Vec<Vec<(String, Vec<f64>)>> = BFS_NVLINK_FRAMEWORKS
+        .iter()
+        .map(|_| {
+            datasets
+                .iter()
+                .map(|ds| {
+                    (
+                        format!("{}{}", ds.preset.name, ds.preset.kind.suffix()),
+                        gpus.iter().map(|_| *it.next().unwrap()).collect(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
 
     println!("Table II: BFS runtimes in ms (speedup vs Gunrock) on Daisy (NVLink)");
     let gunrock = matrices[0].clone();
@@ -29,4 +50,5 @@ fn main() {
         let base = if i == 0 { None } else { Some(gunrock.as_slice()) };
         print_table_block(&format!("BFS on {fw}"), &gpus, &matrices[i], base);
     }
+    report.finish();
 }

@@ -4,52 +4,66 @@
 //! each reachable vertex exactly once, for the scale-free datasets on 1–4
 //! NVLink GPUs. The paper's claim: speculation causes redundant work that
 //! grows with GPU count, and depth-ordered priority scheduling reduces it.
+//!
+//! Each (dataset, gpus) cell runs both configurations and is one unit of
+//! the parallel sweep.
 
 use atos_apps::bfs::run_bfs;
-use atos_bench::{scale_from_args, Dataset};
+use atos_bench::{sweep::record_sim_events, BenchArgs, Dataset, SweepReport, SweepRunner};
 use atos_core::AtosConfig;
 use atos_graph::generators::GraphKind;
 use atos_sim::Fabric;
 
 fn main() {
-    let scale = scale_from_args();
+    let args = BenchArgs::parse();
+    let report = SweepReport::start("table3_priority_workload", &args);
     let gpus = [1usize, 2, 3, 4];
+    let datasets: Vec<Dataset> = Dataset::all(args.scale)
+        .into_iter()
+        .filter(|ds| ds.preset.kind == GraphKind::ScaleFree)
+        .collect();
+
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for d in 0..datasets.len() {
+        for &g in &gpus {
+            cells.push((d, g));
+        }
+    }
+    let pairs = SweepRunner::from_args(&args).run(&cells, |_, &(d, g)| {
+        let ds = &datasets[d];
+        let part = ds.partition(g);
+        let fifo = run_bfs(
+            ds.graph.clone(),
+            part.clone(),
+            ds.source,
+            Fabric::daisy(g),
+            AtosConfig::standard_persistent(),
+        );
+        let prio = run_bfs(
+            ds.graph.clone(),
+            part,
+            ds.source,
+            Fabric::daisy(g),
+            AtosConfig::priority_discrete(),
+        );
+        record_sim_events(fifo.stats.sim_events + prio.stats.sim_events);
+        (fifo.normalized_workload(), prio.normalized_workload())
+    });
+
     println!("Table III: normalized workload without -> with priority queue");
     print!("{:<22}", "Dataset");
     for g in gpus {
         print!("{:>18}", format!("{g} GPU{}", if g > 1 { "s" } else { "" }));
     }
     println!();
-    for ds in Dataset::all(scale) {
-        if ds.preset.kind != GraphKind::ScaleFree {
-            continue;
-        }
+    let mut it = pairs.iter();
+    for ds in &datasets {
         print!("{:<22}", ds.preset.name);
-        for g in gpus {
-            let part = ds.partition(g);
-            let fifo = run_bfs(
-                ds.graph.clone(),
-                part.clone(),
-                ds.source,
-                Fabric::daisy(g),
-                AtosConfig::standard_persistent(),
-            );
-            let prio = run_bfs(
-                ds.graph.clone(),
-                part,
-                ds.source,
-                Fabric::daisy(g),
-                AtosConfig::priority_discrete(),
-            );
-            print!(
-                "{:>18}",
-                format!(
-                    "{:.3} -> {:.3}",
-                    fifo.normalized_workload(),
-                    prio.normalized_workload()
-                )
-            );
+        for _ in gpus {
+            let (fifo, prio) = it.next().unwrap();
+            print!("{:>18}", format!("{fifo:.3} -> {prio:.3}"));
         }
         println!();
     }
+    report.finish();
 }

@@ -1,27 +1,46 @@
 //! Table IV: PageRank runtimes in ms (speedup vs. Gunrock in parentheses)
 //! on Daisy (NVLink), 1–4 GPUs, four frameworks × six datasets.
+//!
+//! Cells are fanned over the sweep harness; see table2_bfs_nvlink.
 
-use atos_bench::{pr_nvlink_ms, print_table_block, scale_from_args, Dataset, PR_NVLINK_FRAMEWORKS};
+use atos_bench::{
+    pr_nvlink_ms, print_table_block, BenchArgs, Dataset, SweepReport, SweepRunner,
+    PR_NVLINK_FRAMEWORKS,
+};
 
 fn main() {
-    let scale = scale_from_args();
-    let datasets = Dataset::all(scale);
+    let args = BenchArgs::parse();
+    let report = SweepReport::start("table4_pr_nvlink", &args);
+    let datasets = Dataset::all(args.scale);
     let gpus = [1usize, 2, 3, 4];
 
-    let mut matrices: Vec<Vec<(String, Vec<f64>)>> = Vec::new();
-    for fw in PR_NVLINK_FRAMEWORKS {
-        let rows: Vec<(String, Vec<f64>)> = datasets
-            .iter()
-            .map(|ds| {
-                let ms: Vec<f64> = gpus.iter().map(|&g| pr_nvlink_ms(fw, ds, g)).collect();
-                (
-                    format!("{}{}", ds.preset.name, ds.preset.kind.suffix()),
-                    ms,
-                )
-            })
-            .collect();
-        matrices.push(rows);
+    let mut cells: Vec<(usize, usize, usize)> = Vec::new();
+    for f in 0..PR_NVLINK_FRAMEWORKS.len() {
+        for d in 0..datasets.len() {
+            for &g in &gpus {
+                cells.push((f, d, g));
+            }
+        }
     }
+    let ms = SweepRunner::from_args(&args).run(&cells, |_, &(f, d, g)| {
+        pr_nvlink_ms(PR_NVLINK_FRAMEWORKS[f], &datasets[d], g)
+    });
+
+    let mut it = ms.iter();
+    let matrices: Vec<Vec<(String, Vec<f64>)>> = PR_NVLINK_FRAMEWORKS
+        .iter()
+        .map(|_| {
+            datasets
+                .iter()
+                .map(|ds| {
+                    (
+                        format!("{}{}", ds.preset.name, ds.preset.kind.suffix()),
+                        gpus.iter().map(|_| *it.next().unwrap()).collect(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
 
     println!("Table IV: PageRank runtimes in ms (speedup vs Gunrock) on Daisy (NVLink)");
     let gunrock = matrices[0].clone();
@@ -29,4 +48,5 @@ fn main() {
         let base = if i == 0 { None } else { Some(gunrock.as_slice()) };
         print_table_block(&format!("PageRank on {fw}"), &gpus, &matrices[i], base);
     }
+    report.finish();
 }

@@ -1,22 +1,44 @@
 //! Table V: BFS and PageRank runtimes in ms (speedups vs. Galois) on
 //! Summit (InfiniBand), one GPU per node, 1–8 GPUs.
+//!
+//! The (app, dataset, framework, gpus) grid is fanned over the sweep
+//! harness; results are keyed by grid index, so the table is
+//! byte-identical at any `--threads` setting.
 
-use atos_bench::{ib_ms, print_table_block, scale_from_args, Dataset};
+use atos_bench::{ib_ms, print_table_block, BenchArgs, Dataset, SweepReport, SweepRunner};
 
 fn main() {
-    let scale = scale_from_args();
-    let datasets = Dataset::all(scale);
+    let args = BenchArgs::parse();
+    let report = SweepReport::start("table5_ib", &args);
+    let datasets = Dataset::all(args.scale);
     let gpus = [1usize, 2, 3, 4, 5, 6, 7, 8];
+    let apps = ["bfs", "pr"];
+    let frameworks = ["Galois", "Atos"];
+
+    let mut cells: Vec<(usize, usize, usize, usize)> = Vec::new();
+    for a in 0..apps.len() {
+        for d in 0..datasets.len() {
+            for f in 0..frameworks.len() {
+                for &g in &gpus {
+                    cells.push((a, d, f, g));
+                }
+            }
+        }
+    }
+    let ms = SweepRunner::from_args(&args).run(&cells, |_, &(a, d, f, g)| {
+        ib_ms(frameworks[f], apps[a], &datasets[d], g)
+    });
 
     println!("Table V: BFS and PageRank runtimes in ms (speedups vs Galois) on Summit (IB)");
-    for app in ["bfs", "pr"] {
+    let mut it = ms.iter();
+    for app in apps {
         let title = if app == "bfs" { "BFS" } else { "PageRank" };
         let mut galois_rows = Vec::new();
         let mut atos_rows = Vec::new();
         for ds in &datasets {
             let label = format!("{}{}", ds.preset.name, ds.preset.kind.suffix());
-            let gms: Vec<f64> = gpus.iter().map(|&g| ib_ms("Galois", app, ds, g)).collect();
-            let ams: Vec<f64> = gpus.iter().map(|&g| ib_ms("Atos", app, ds, g)).collect();
+            let gms: Vec<f64> = gpus.iter().map(|_| *it.next().unwrap()).collect();
+            let ams: Vec<f64> = gpus.iter().map(|_| *it.next().unwrap()).collect();
             galois_rows.push((label.clone(), gms));
             atos_rows.push((label, ams));
         }
@@ -28,4 +50,5 @@ fn main() {
             Some(&galois_rows),
         );
     }
+    report.finish();
 }

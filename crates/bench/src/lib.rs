@@ -9,9 +9,18 @@
 //! factor, how scaling trends) rather than absolute values.
 //!
 //! Binaries accept `--quick` to run on the tiny test-scale graphs (the
-//! artifact appendix's "quick mode").
+//! artifact appendix's "quick mode"), `--threads N` to fan the sweep grid
+//! over worker threads (default: host parallelism; `ATOS_BENCH_THREADS`
+//! overrides the default), and `--json PATH` to redirect the timing
+//! report ([`sweep`] has the harness).
 
 use std::sync::Arc;
+
+use atos_core::RunStats;
+
+pub mod sweep;
+
+pub use sweep::{BenchArgs, SweepReport, SweepRunner};
 
 use atos_apps::bfs::run_bfs;
 use atos_apps::pagerank::run_pagerank;
@@ -38,28 +47,30 @@ pub const EPSILON: f64 = 1e-5;
 pub fn pipe_friendly() {
     #[cfg(unix)]
     // SAFETY: resetting a signal disposition at process start, before any
-    // output or thread spawn.
+    // output or thread spawn. Declared directly (rather than via `libc`)
+    // so the workspace builds without registry access.
     unsafe {
-        libc::signal(libc::SIGPIPE, libc::SIG_DFL);
+        unsafe extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGPIPE: i32 = 13;
+        const SIG_DFL: usize = 0;
+        signal(SIGPIPE, SIG_DFL);
     }
 }
 
-/// Parse `--quick` from argv (the artifact's quick mode). Unknown
-/// arguments abort with an error rather than silently running a
-/// potentially minutes-long full-scale sweep.
+/// Parse the shared benchmark command line and return only the scale.
+/// Kept for callers that predate [`BenchArgs`]; new binaries should call
+/// [`BenchArgs::parse`] so they also pick up `--threads` and `--json`.
 pub fn scale_from_args() -> Scale {
-    pipe_friendly();
-    let mut scale = Scale::Full;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "--quick" => scale = Scale::Tiny,
-            other => {
-                eprintln!("error: unknown argument `{other}` (supported: --quick)");
-                std::process::exit(2);
-            }
-        }
-    }
-    scale
+    BenchArgs::parse().scale
+}
+
+/// Record a finished run's simulator-event count in the process tally
+/// (reported by [`SweepReport::finish`]) and return its virtual ms.
+pub fn ms_of(stats: &RunStats) -> f64 {
+    sweep::record_sim_events(stats.sim_events);
+    stats.elapsed_ms()
 }
 
 /// A dataset instantiated for benchmarking.
@@ -126,13 +137,9 @@ pub const PR_NVLINK_FRAMEWORKS: [&str; 4] = [
 pub fn bfs_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
     let part = ds.partition(gpus);
     let fabric = Fabric::daisy(gpus);
-    match framework {
-        "Gunrock" => bsp_bfs(ds.graph.clone(), part, ds.source, fabric)
-            .stats
-            .elapsed_ms(),
-        "Groute" => groute_bfs(ds.graph.clone(), part, ds.source, fabric)
-            .stats
-            .elapsed_ms(),
+    let stats = match framework {
+        "Gunrock" => bsp_bfs(ds.graph.clone(), part, ds.source, fabric).stats,
+        "Groute" => groute_bfs(ds.graph.clone(), part, ds.source, fabric).stats,
         "Atos (queue+persistent kernel)" => run_bfs(
             ds.graph.clone(),
             part,
@@ -140,8 +147,7 @@ pub fn bfs_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
             fabric,
             AtosConfig::standard_persistent(),
         )
-        .stats
-        .elapsed_ms(),
+        .stats,
         "Atos (priority queue+discrete kernel)" => run_bfs(
             ds.graph.clone(),
             part,
@@ -149,23 +155,19 @@ pub fn bfs_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
             fabric,
             AtosConfig::priority_discrete(),
         )
-        .stats
-        .elapsed_ms(),
+        .stats,
         other => panic!("unknown framework {other}"),
-    }
+    };
+    ms_of(&stats)
 }
 
 /// Run one NVLink PageRank framework; returns virtual ms.
 pub fn pr_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
     let part = ds.partition(gpus);
     let fabric = Fabric::daisy(gpus);
-    match framework {
-        "Gunrock" => bsp_pagerank(ds.graph.clone(), part, ALPHA, EPSILON, fabric)
-            .stats
-            .elapsed_ms(),
-        "Groute" => groute_pagerank(ds.graph.clone(), part, ALPHA, EPSILON, fabric)
-            .stats
-            .elapsed_ms(),
+    let stats = match framework {
+        "Gunrock" => bsp_pagerank(ds.graph.clone(), part, ALPHA, EPSILON, fabric).stats,
+        "Groute" => groute_pagerank(ds.graph.clone(), part, ALPHA, EPSILON, fabric).stats,
         "Atos (discrete kernel)" => run_pagerank(
             ds.graph.clone(),
             part,
@@ -174,8 +176,7 @@ pub fn pr_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
             fabric,
             AtosConfig::standard_discrete(),
         )
-        .stats
-        .elapsed_ms(),
+        .stats,
         "Atos (persistent kernel)" => run_pagerank(
             ds.graph.clone(),
             part,
@@ -184,10 +185,10 @@ pub fn pr_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
             fabric,
             AtosConfig::standard_persistent(),
         )
-        .stats
-        .elapsed_ms(),
+        .stats,
         other => panic!("unknown framework {other}"),
-    }
+    };
+    ms_of(&stats)
 }
 
 /// Run one InfiniBand framework (`"Galois"` or `"Atos"`) for `app`
@@ -195,13 +196,9 @@ pub fn pr_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
 pub fn ib_ms(framework: &str, app: &str, ds: &Dataset, gpus: usize) -> f64 {
     let part = ds.partition(gpus);
     let fabric = Fabric::ib_cluster(gpus);
-    match (framework, app) {
-        ("Galois", "bfs") => galois_bfs(ds.graph.clone(), part, ds.source, fabric)
-            .stats
-            .elapsed_ms(),
-        ("Galois", "pr") => galois_pagerank(ds.graph.clone(), part, ALPHA, EPSILON, fabric)
-            .stats
-            .elapsed_ms(),
+    let stats = match (framework, app) {
+        ("Galois", "bfs") => galois_bfs(ds.graph.clone(), part, ds.source, fabric).stats,
+        ("Galois", "pr") => galois_pagerank(ds.graph.clone(), part, ALPHA, EPSILON, fabric).stats,
         ("Atos", "bfs") => run_bfs(
             ds.graph.clone(),
             part,
@@ -209,8 +206,7 @@ pub fn ib_ms(framework: &str, app: &str, ds: &Dataset, gpus: usize) -> f64 {
             fabric,
             AtosConfig::ib_bfs(),
         )
-        .stats
-        .elapsed_ms(),
+        .stats,
         ("Atos", "pr") => run_pagerank(
             ds.graph.clone(),
             part,
@@ -219,10 +215,10 @@ pub fn ib_ms(framework: &str, app: &str, ds: &Dataset, gpus: usize) -> f64 {
             fabric,
             AtosConfig::ib_pagerank(),
         )
-        .stats
-        .elapsed_ms(),
+        .stats,
         other => panic!("unknown combination {other:?}"),
-    }
+    };
+    ms_of(&stats)
 }
 
 /// Print one paper-style table block: rows = datasets, cols = GPU counts,

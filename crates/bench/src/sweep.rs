@@ -1,0 +1,381 @@
+//! Parallel sweep harness shared by every table/figure binary.
+//!
+//! The (dataset × GPU count × framework × app) grids the binaries
+//! regenerate are embarrassingly parallel: each cell is one independent
+//! simulated run, and the simulation is a pure function of its inputs.
+//! [`SweepRunner`] fans the cells over scoped worker threads and returns
+//! the results keyed by grid index, so the printed tables are
+//! byte-identical to a serial sweep no matter how the threads interleave
+//! — parallelism only reorders wall-clock completion, never results.
+//!
+//! [`BenchArgs`] is the shared CLI surface (`--quick`, `--threads N`,
+//! `--json PATH`, plus the `ATOS_BENCH_THREADS` environment override),
+//! and [`SweepReport`] records each binary's wall-clock time, thread
+//! count, and total simulator events into `results/BENCH_sweep.json`.
+//! All timing goes to stderr or the JSON file; stdout carries only the
+//! tables, which must stay identical across thread counts.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use atos_graph::generators::Scale;
+
+/// Default location of the sweep timing report, relative to the working
+/// directory (the repo root, when run via `cargo run`).
+pub const DEFAULT_REPORT_PATH: &str = "results/BENCH_sweep.json";
+
+/// Parsed command line shared by the table/figure binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Graph scale: `Scale::Tiny` under `--quick`, else `Scale::Full`.
+    pub scale: Scale,
+    /// Worker threads for the sweep (>= 1).
+    pub threads: usize,
+    /// Timing-report destination override from `--json PATH`.
+    pub json: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    /// Parse the process's argv and environment; prints an error and
+    /// exits with status 2 on unknown or malformed arguments (rather than
+    /// silently starting a potentially minutes-long full-scale sweep).
+    pub fn parse() -> Self {
+        crate::pipe_friendly();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let env = std::env::var("ATOS_BENCH_THREADS").ok();
+        match Self::parse_from(&args, env.as_deref(), default_threads()) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Pure parser: `args` is argv without the program name,
+    /// `env_threads` the value of `ATOS_BENCH_THREADS` (if set), and
+    /// `default_threads` the fallback thread count. Precedence for the
+    /// thread count: `--threads` flag, then environment, then default;
+    /// the result is clamped to at least 1.
+    pub fn parse_from(
+        args: &[String],
+        env_threads: Option<&str>,
+        default_threads: usize,
+    ) -> Result<Self, String> {
+        let mut scale = Scale::Full;
+        let mut threads: Option<usize> = None;
+        let mut json: Option<PathBuf> = None;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => scale = Scale::Tiny,
+                "--threads" => {
+                    let v = it.next().ok_or("--threads requires a value")?;
+                    threads =
+                        Some(v.parse().map_err(|_| format!("invalid --threads value `{v}`"))?);
+                }
+                "--json" => {
+                    let v = it.next().ok_or("--json requires a path")?;
+                    json = Some(PathBuf::from(v));
+                }
+                other => {
+                    return Err(format!(
+                        "unknown argument `{other}` (supported: --quick, --threads N, --json PATH)"
+                    ))
+                }
+            }
+        }
+        let threads = match (threads, env_threads) {
+            (Some(t), _) => t,
+            (None, Some(e)) => e
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid ATOS_BENCH_THREADS value `{e}`"))?,
+            (None, None) => default_threads,
+        };
+        Ok(BenchArgs {
+            scale,
+            threads: threads.max(1),
+            json,
+        })
+    }
+}
+
+/// Host parallelism used when neither `--threads` nor
+/// `ATOS_BENCH_THREADS` is given.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Fans independent sweep cells over scoped worker threads.
+///
+/// Workers claim cells from a shared atomic cursor (dynamic scheduling —
+/// simulated runs vary wildly in cost, so static chunking would leave
+/// threads idle) and deposit each result in the slot of its grid index.
+/// The output vector is therefore ordered exactly like the input no
+/// matter which worker computed which cell.
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// Runner with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Runner configured from parsed [`BenchArgs`].
+    pub fn from_args(args: &BenchArgs) -> Self {
+        Self::new(args.threads)
+    }
+
+    /// Worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f` to every item; `f` receives `(grid_index, &item)` and
+    /// the result vector is indexed like `items`. With one worker (or one
+    /// item) no threads are spawned — the cells run inline, in order.
+    /// A panic in any cell propagates after the scope joins.
+    pub fn run<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(i, &items[i]);
+                    *slots[i].lock().unwrap() = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("sweep cell not computed"))
+            .collect()
+    }
+}
+
+/// Process-wide tally of simulator events across every run a binary
+/// performs (each [`atos_core::RunStats::sim_events`] is added once).
+static SIM_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Add one run's simulator-event count to the process tally.
+pub fn record_sim_events(n: u64) {
+    SIM_EVENTS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Total simulator events recorded so far in this process.
+pub fn total_sim_events() -> u64 {
+    SIM_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Wall-clock timer for one binary's sweep; [`SweepReport::finish`]
+/// appends/updates the binary's entry in the timing report and prints a
+/// one-line summary to stderr (never stdout).
+pub struct SweepReport {
+    binary: String,
+    threads: usize,
+    json: Option<PathBuf>,
+    started: Instant,
+}
+
+impl SweepReport {
+    /// Start timing `binary` under the parsed arguments.
+    pub fn start(binary: &str, args: &BenchArgs) -> Self {
+        SweepReport {
+            binary: binary.to_string(),
+            threads: args.threads,
+            json: args.json.clone(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Stop the clock, write the report entry, and log to stderr.
+    pub fn finish(self) {
+        let wall_s = self.started.elapsed().as_secs_f64();
+        let events = total_sim_events();
+        let path = self
+            .json
+            .unwrap_or_else(|| PathBuf::from(DEFAULT_REPORT_PATH));
+        eprintln!(
+            "[sweep] {}: {:.3}s wall, {} thread{}, {} sim events -> {}",
+            self.binary,
+            wall_s,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            events,
+            path.display()
+        );
+        if let Err(e) = write_report_entry(&path, &self.binary, wall_s, self.threads, events) {
+            eprintln!("[sweep] warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// Read-modify-write one binary's entry in the line-oriented JSON report
+/// (`{"<binary>": {"wall_s": ..., "threads": ..., "sim_events": ...}}`).
+/// Existing entries for other binaries are preserved; output is sorted by
+/// binary name so the file is diff-stable.
+pub fn write_report_entry(
+    path: &Path,
+    binary: &str,
+    wall_s: f64,
+    threads: usize,
+    sim_events: u64,
+) -> io::Result<()> {
+    let mut entries: BTreeMap<String, String> = BTreeMap::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if let Some(rest) = line.strip_prefix('"') {
+                if let Some((name, value)) = rest.split_once("\": ") {
+                    if value.starts_with('{') && value.ends_with('}') {
+                        entries.insert(name.to_string(), value.to_string());
+                    }
+                }
+            }
+        }
+    }
+    entries.insert(
+        binary.to_string(),
+        format!("{{\"wall_s\": {wall_s:.3}, \"threads\": {threads}, \"sim_events\": {sim_events}}}"),
+    );
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut out = String::from("{\n");
+    let last = entries.len().saturating_sub(1);
+    for (i, (k, v)) in entries.iter().enumerate() {
+        out.push_str("  \"");
+        out.push_str(k);
+        out.push_str("\": ");
+        out.push_str(v);
+        if i != last {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parser_defaults() {
+        let a = BenchArgs::parse_from(&[], None, 6).unwrap();
+        assert_eq!(a.scale, Scale::Full);
+        assert_eq!(a.threads, 6);
+        assert_eq!(a.json, None);
+    }
+
+    #[test]
+    fn parser_accepts_all_flags() {
+        let a = BenchArgs::parse_from(
+            &s(&["--quick", "--threads", "4", "--json", "/tmp/r.json"]),
+            None,
+            1,
+        )
+        .unwrap();
+        assert_eq!(a.scale, Scale::Tiny);
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.json, Some(PathBuf::from("/tmp/r.json")));
+    }
+
+    #[test]
+    fn parser_thread_precedence_flag_env_default() {
+        // Environment overrides the default...
+        let a = BenchArgs::parse_from(&[], Some("3"), 8).unwrap();
+        assert_eq!(a.threads, 3);
+        // ...and the flag overrides the environment.
+        let a = BenchArgs::parse_from(&s(&["--threads", "2"]), Some("3"), 8).unwrap();
+        assert_eq!(a.threads, 2);
+        // Zero clamps to one worker.
+        let a = BenchArgs::parse_from(&s(&["--threads", "0"]), None, 8).unwrap();
+        assert_eq!(a.threads, 1);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(BenchArgs::parse_from(&s(&["--frobnicate"]), None, 1).is_err());
+        assert!(BenchArgs::parse_from(&s(&["--threads"]), None, 1).is_err());
+        assert!(BenchArgs::parse_from(&s(&["--threads", "many"]), None, 1).is_err());
+        assert!(BenchArgs::parse_from(&s(&["--json"]), None, 1).is_err());
+        assert!(BenchArgs::parse_from(&[], Some("lots"), 1).is_err());
+    }
+
+    #[test]
+    fn runner_results_are_keyed_by_index() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial = SweepRunner::new(1).run(&items, |i, &x| (i as u64) * 1000 + x * x);
+        let parallel = SweepRunner::new(4).run(&items, |i, &x| (i as u64) * 1000 + x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[5], 5025);
+    }
+
+    #[test]
+    fn runner_handles_empty_and_oversubscribed() {
+        let empty: Vec<u32> = vec![];
+        assert!(SweepRunner::new(8).run(&empty, |_, &x| x).is_empty());
+        // More workers than items.
+        let out = SweepRunner::new(64).run(&[1u32, 2, 3], |_, &x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn report_round_trips_and_merges() {
+        let dir = std::env::temp_dir().join(format!("atos-sweep-test-{}", std::process::id()));
+        let path = dir.join("BENCH_sweep.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_report_entry(&path, "table2", 1.5, 4, 100).unwrap();
+        write_report_entry(&path, "table5", 2.0, 2, 200).unwrap();
+        // Re-running a binary replaces its entry.
+        write_report_entry(&path, "table2", 9.25, 8, 300).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "{\n  \"table2\": {\"wall_s\": 9.250, \"threads\": 8, \"sim_events\": 300},\n  \
+             \"table5\": {\"wall_s\": 2.000, \"threads\": 2, \"sim_events\": 200}\n}\n"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sim_event_tally_accumulates() {
+        let before = total_sim_events();
+        record_sim_events(7);
+        record_sim_events(5);
+        assert!(total_sim_events() >= before + 12);
+    }
+}

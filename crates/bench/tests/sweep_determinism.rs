@@ -1,0 +1,74 @@
+//! Determinism under parallelism.
+//!
+//! The sweep harness promises that `--threads N` only changes wall-clock
+//! time, never output: the simulation is a pure function of its inputs
+//! and results are keyed by grid index. These tests pin that down two
+//! ways: byte-identical stdout of an actual table binary at 1 vs 4
+//! worker threads, and bit-identical run statistics for repeated runs of
+//! the same configuration.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use atos_bench::{bfs_nvlink_ms, ib_ms, Dataset, SweepRunner};
+use atos_graph::generators::{Preset, Scale};
+
+/// Run one of this crate's binaries with `args`, returning (stdout, ok).
+fn run_binary(exe: &str, args: &[&str], json: &std::path::Path) -> (Vec<u8>, bool) {
+    let mut cmd = Command::new(exe);
+    cmd.args(args).arg("--json").arg(json);
+    let out = cmd.output().expect("binary should spawn");
+    (out.stdout, out.status.success())
+}
+
+#[test]
+fn table2_stdout_is_byte_identical_across_thread_counts() {
+    let exe = env!("CARGO_BIN_EXE_table2_bfs_nvlink");
+    let dir = std::env::temp_dir().join(format!("atos-determinism-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json: PathBuf = dir.join("sweep.json");
+
+    let (serial, ok1) = run_binary(exe, &["--quick", "--threads", "1"], &json);
+    let (parallel, ok4) = run_binary(exe, &["--quick", "--threads", "4"], &json);
+    assert!(ok1 && ok4, "table2_bfs_nvlink --quick should succeed");
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "stdout must not depend on the worker-thread count"
+    );
+    // The timing report must exist and carry this binary's entry.
+    let report = std::fs::read_to_string(&json).expect("sweep report written");
+    assert!(report.contains("\"table2_bfs_nvlink\""), "{report}");
+    assert!(report.contains("\"threads\": 4"), "{report}");
+    assert!(report.contains("\"sim_events\""), "{report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn same_configuration_runs_twice_identically() {
+    // Bit-identical virtual times for repeated identical configs — the
+    // simulator has no hidden global state, so the sweep can run cells in
+    // any order on any thread.
+    let ds = Dataset::build(Preset::by_name("road_usa_s").unwrap(), Scale::Tiny);
+    let a = bfs_nvlink_ms("Atos (queue+persistent kernel)", &ds, 3);
+    let b = bfs_nvlink_ms("Atos (queue+persistent kernel)", &ds, 3);
+    assert_eq!(a.to_bits(), b.to_bits());
+    let a = ib_ms("Atos", "pr", &ds, 2);
+    let b = ib_ms("Atos", "pr", &ds, 2);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+#[test]
+fn sweep_grid_matches_serial_reference() {
+    // The harness itself must hand back results exactly as a serial loop
+    // would produce them, for a real (framework × gpus) grid.
+    let ds = Dataset::build(Preset::by_name("hollywood_2009_s").unwrap(), Scale::Tiny);
+    let cells: Vec<(usize, usize)> = (0..2).flat_map(|f| (1..=4).map(move |g| (f, g))).collect();
+    let fw = ["Galois", "Atos"];
+    let serial: Vec<f64> = cells
+        .iter()
+        .map(|&(f, g)| ib_ms(fw[f], "bfs", &ds, g))
+        .collect();
+    let parallel = SweepRunner::new(4).run(&cells, |_, &(f, g)| ib_ms(fw[f], "bfs", &ds, g));
+    assert_eq!(serial, parallel);
+}

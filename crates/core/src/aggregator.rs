@@ -97,10 +97,21 @@ impl<T> AggBuffer<T> {
 
     /// Take the bundle: returns `(tasks, payload_bytes)` and resets.
     pub fn flush(&mut self) -> (Vec<T>, u64) {
+        self.flush_with(Vec::new())
+    }
+
+    /// Take the bundle, installing `replacement` (an empty vector, usually
+    /// recycled from the runtime's payload pool) as the new accumulation
+    /// storage. With a pooled replacement the buffer's backing memory
+    /// rotates through the pool instead of being reallocated per bundle —
+    /// the aggregated path's steady state performs no per-flush heap
+    /// allocation.
+    pub fn flush_with(&mut self, replacement: Vec<T>) -> (Vec<T>, u64) {
+        debug_assert!(replacement.is_empty(), "replacement must be empty");
         let bytes = self.bytes;
         self.bytes = 0;
         self.opened_at = None;
-        (std::mem::take(&mut self.items), bytes)
+        (std::mem::replace(&mut self.items, replacement), bytes)
     }
 }
 

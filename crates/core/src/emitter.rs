@@ -14,6 +14,12 @@ pub struct Emitter<T> {
     my_pe: usize,
 }
 
+impl<T> Default for Emitter<T> {
+    fn default() -> Self {
+        Emitter::new(0)
+    }
+}
+
 impl<T> Emitter<T> {
     /// New emitter for PE `my_pe`.
     pub fn new(my_pe: usize) -> Self {
@@ -22,6 +28,15 @@ impl<T> Emitter<T> {
             remote: Vec::new(),
             my_pe,
         }
+    }
+
+    /// Re-home a reused emitter: clear both buffers (keeping their
+    /// capacity — the runtime recycles one emitter across all PEs' steps
+    /// so the hot path never reallocates) and set the owning PE.
+    pub fn reset_for(&mut self, my_pe: usize) {
+        self.local.clear();
+        self.remote.clear();
+        self.my_pe = my_pe;
     }
 
     /// The PE this emitter belongs to (the paper's `my_pe`).

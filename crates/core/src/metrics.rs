@@ -24,6 +24,15 @@ pub struct RunStats {
     pub wire_bytes: u64,
     /// Remote tasks delivered.
     pub remote_tasks: u64,
+    /// Aggregator bundles flushed (size- or age-triggered).
+    pub agg_flushes: u64,
+    /// Tasks carried by aggregator bundles.
+    pub agg_flushed_tasks: u64,
+    /// Payload bytes carried by aggregator bundles.
+    pub agg_flushed_bytes: u64,
+    /// Simulator events processed during the run (scheduling steps,
+    /// arrivals, aggregator polls) — the sweep harness's work metric.
+    pub sim_events: u64,
     /// Traffic burstiness (coefficient of variation; None if negligible
     /// traffic).
     pub burstiness: Option<f64>,

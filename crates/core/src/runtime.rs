@@ -26,8 +26,6 @@
 //! * In aggregated mode, pushes land in per-destination
 //!   [`AggBuffer`]s instead, and bundles leave on the size/age triggers.
 
-use std::collections::BTreeMap;
-
 use atos_sim::{ControlPath, Engine, Fabric, GpuCostModel, PeId, Time};
 
 use crate::aggregator::AggBuffer;
@@ -44,6 +42,11 @@ const WAKE_POLL_NS: Time = 400;
 /// Hard cap on processed events — a runaway guard for mis-configured
 /// applications (e.g. a task that re-emits itself forever).
 const MAX_EVENTS: u64 = 200_000_000;
+
+/// Upper bound on pooled payload vectors retained for reuse. In-flight
+/// message counts above this simply fall back to allocation; the cap only
+/// bounds idle memory, it never drops live data.
+const VEC_POOL_CAP: usize = 1024;
 
 enum Ev<T> {
     /// Run one scheduling step on a PE.
@@ -93,6 +96,11 @@ impl Default for RuntimeTuning {
 struct Pe<T> {
     queue: WorkQueue<T>,
     agg: Vec<AggBuffer<T>>,
+    /// Per-destination staging for one flush of remote emissions. Allocated
+    /// once at construction and drained in place — this replaces the
+    /// `BTreeMap<usize, Vec<Task>>` the dispatcher used to build (and
+    /// throw away) on every flush.
+    stage: Vec<Vec<T>>,
     step_scheduled: bool,
     agg_poll_scheduled: bool,
     idle_ran: bool,
@@ -109,6 +117,21 @@ pub struct Runtime<A: Application> {
     pes: Vec<Pe<A::Task>>,
     stats: RunStats,
     tuning: RuntimeTuning,
+    /// One emitter recycled across every PE's steps (cleared, never freed).
+    em: Emitter<A::Task>,
+    /// Pop-batch scratch recycled across steps.
+    batch: Vec<A::Task>,
+    /// Free-list of payload vectors: message payloads travel to
+    /// [`Ev::Arrive`], are drained at the destination, and return here —
+    /// the steady-state send path performs no per-task heap allocation.
+    vec_pool: Vec<Vec<A::Task>>,
+    /// Arrival events staged during one dispatch and handed to the engine
+    /// in a single [`Engine::schedule_batch`] call.
+    pending: Vec<(Time, Ev<A::Task>)>,
+    /// Arrival time of the current dispatch's round-metadata message per
+    /// peer (0 = none in flight). Used to assert that link FIFO order
+    /// makes metadata gate the payload that follows it.
+    meta_arrival: Vec<Time>,
 }
 
 impl<A: Application> Runtime<A> {
@@ -142,6 +165,7 @@ impl<A: Application> Runtime<A> {
                     } => WorkQueue::priority(threshold, threshold_delta),
                 },
                 agg: (0..n).map(AggBuffer::new).collect(),
+                stage: (0..n).map(|_| Vec::new()).collect(),
                 step_scheduled: false,
                 agg_poll_scheduled: false,
                 idle_ran: false,
@@ -156,6 +180,11 @@ impl<A: Application> Runtime<A> {
             pes,
             stats: RunStats::new(n),
             tuning,
+            em: Emitter::new(0),
+            batch: Vec::new(),
+            vec_pool: Vec::new(),
+            pending: Vec::new(),
+            meta_arrival: vec![0; n],
         }
     }
 
@@ -200,6 +229,7 @@ impl<A: Application> Runtime<A> {
         self.stats.elapsed_ns = self.engine.now();
         self.stats.wire_bytes = self.fabric.trace.total_wire_bytes();
         self.stats.burstiness = self.fabric.trace.burstiness();
+        self.stats.sim_events = self.engine.processed();
         self.stats.clone()
     }
 
@@ -226,20 +256,24 @@ impl<A: Application> Runtime<A> {
             KernelMode::Persistent => self.cfg.worker.round_capacity(),
             KernelMode::Discrete => usize::MAX,
         };
-        let mut batch = Vec::with_capacity(self.cfg.worker.round_capacity().min(4096));
+        let mut batch = std::mem::take(&mut self.batch);
+        batch.clear();
         let got = self.pes[pe].queue.pop_batch(cap, &mut batch);
         let now = self.engine.now();
 
         if got == 0 {
+            self.batch = batch;
             // f2: one idle-handler invocation per idle transition.
             if !self.pes[pe].idle_ran {
                 self.pes[pe].idle_ran = true;
-                let mut em = Emitter::new(pe);
+                let mut em = std::mem::take(&mut self.em);
+                em.reset_for(pe);
                 if self.app.on_idle(pe, &mut em) == IdleOutcome::Refilled {
                     self.absorb_local(pe, &mut em);
                     self.dispatch_remote(pe, &mut em, now, 0);
                     self.wake(pe, 0);
                 }
+                self.em = em;
             }
             return;
         }
@@ -247,7 +281,8 @@ impl<A: Application> Runtime<A> {
         self.stats.steps_per_pe[pe] += 1;
         self.stats.tasks_per_pe[pe] += got as u64;
 
-        let mut em = Emitter::new(pe);
+        let mut em = std::mem::take(&mut self.em);
+        em.reset_for(pe);
         let mut edges = 0u64;
         let mut span = 0u64;
         for &t in &batch {
@@ -271,6 +306,8 @@ impl<A: Application> Runtime<A> {
 
         self.absorb_local(pe, &mut em);
         self.dispatch_remote(pe, &mut em, now, busy);
+        self.em = em;
+        self.batch = batch;
 
         // Next scheduling round once this one's virtual time has elapsed.
         self.pes[pe].idle_ran = false;
@@ -306,10 +343,14 @@ impl<A: Application> Runtime<A> {
         if em.remote.is_empty() {
             return;
         }
-        let mut per_dst: BTreeMap<usize, Vec<A::Task>> = BTreeMap::new();
+        // Per-destination staging buffers live on the PE and are drained in
+        // place; iteration below walks destinations in ascending order,
+        // matching the BTreeMap this replaced, so event order (and thus the
+        // whole simulation) is bit-identical.
+        let mut stage = std::mem::take(&mut self.pes[src].stage);
         for (dst, t) in em.remote.drain(..) {
             debug_assert!(dst != src, "remote push to self");
-            per_dst.entry(dst).or_default().push(t);
+            stage[dst].push(t);
         }
         let task_bytes = self.app.task_bytes();
         // Gluon-style round metadata: serialize and broadcast update masks
@@ -331,7 +372,11 @@ impl<A: Application> Runtime<A> {
                         self.tuning.round_metadata_bytes,
                         self.tuning.control,
                     );
-                    let _ = arrival; // metadata gates payload via link order
+                    // Metadata gates the payload via link FIFO order: the
+                    // payload transfer is issued on the same link no
+                    // earlier than `metadata_done`, so it cannot overtake.
+                    // `send` asserts this against the recorded arrival.
+                    self.meta_arrival[peer] = arrival;
                     self.stats.messages += 1;
                     self.stats.payload_bytes += self.tuning.round_metadata_bytes;
                 }
@@ -341,12 +386,12 @@ impl<A: Application> Runtime<A> {
             CommMode::Direct { group } => {
                 let group = group.max(1);
                 // Total chunks across destinations, for time spreading.
-                let total_chunks: usize = per_dst
-                    .values()
+                let total_chunks: usize = stage
+                    .iter()
                     .map(|v| v.len().div_ceil(group))
                     .sum();
                 let mut i = 0usize;
-                for (dst, tasks) in per_dst {
+                for (dst, tasks) in stage.iter_mut().enumerate() {
                     for chunk in tasks.chunks(group) {
                         // In-kernel issue time: Atos spreads sends across
                         // the busy window (communication/computation
@@ -358,18 +403,22 @@ impl<A: Application> Runtime<A> {
                             metadata_done
                         };
                         i += 1;
-                        self.send(t_issue, src, dst, chunk.to_vec(), task_bytes);
+                        let mut payload = self.vec_pool.pop().unwrap_or_default();
+                        payload.extend_from_slice(chunk);
+                        let arrival = self.route(t_issue, src, dst, payload.len(), task_bytes);
+                        self.pending.push((arrival, Ev::Arrive { dst, tasks: payload }));
                     }
+                    tasks.clear();
                 }
             }
             CommMode::Aggregated {
                 batch_bytes,
                 wait_time,
             } => {
-                let total: usize = per_dst.values().map(Vec::len).sum();
+                let total: usize = stage.iter().map(Vec::len).sum();
                 let mut i = 0usize;
-                for (dst, tasks) in per_dst {
-                    for t in tasks {
+                for (dst, tasks) in stage.iter_mut().enumerate() {
+                    for &t in tasks.iter() {
                         let t_push = if self.tuning.in_kernel_comm {
                             now + busy * i as u64 / total.max(1) as u64
                         } else {
@@ -379,22 +428,44 @@ impl<A: Application> Runtime<A> {
                         self.pes[src].agg[dst].push(t, task_bytes, t_push);
                         if self.pes[src].agg[dst].should_flush(t_push, batch_bytes, wait_time)
                         {
-                            let (bundle, bytes) = self.pes[src].agg[dst].flush();
-                            let n = bundle.len();
-                            let _ = n;
-                            let _ = bytes;
-                            self.send(t_push, src, dst, bundle, task_bytes);
+                            self.flush_bundle(t_push, src, dst, task_bytes);
                         }
                     }
+                    tasks.clear();
                 }
-                self.schedule_agg_poll(src);
             }
+        }
+        self.pes[src].stage = stage;
+        if self.tuning.round_metadata_bytes > 0 {
+            self.meta_arrival.iter_mut().for_each(|t| *t = 0);
+        }
+        // Hand every arrival staged above to the engine in one batch (in
+        // issue order, so sequence numbers — and tie-breaking — match the
+        // old one-schedule-per-send behavior exactly).
+        let mut pending = std::mem::take(&mut self.pending);
+        self.engine.schedule_batch(pending.drain(..));
+        self.pending = pending;
+        if matches!(self.cfg.comm, CommMode::Aggregated { .. }) {
+            self.schedule_agg_poll(src);
         }
     }
 
-    /// One message on the wire: charge control path + fabric, deliver.
-    fn send(&mut self, at: Time, src: usize, dst: usize, tasks: Vec<A::Task>, task_bytes: u64) {
-        let payload = tasks.len() as u64 * task_bytes;
+    /// Flush one aggregator bundle into a pooled payload and stage its
+    /// arrival.
+    fn flush_bundle(&mut self, at: Time, src: usize, dst: usize, task_bytes: u64) {
+        let replacement = self.vec_pool.pop().unwrap_or_default();
+        let (bundle, bytes) = self.pes[src].agg[dst].flush_with(replacement);
+        self.stats.agg_flushes += 1;
+        self.stats.agg_flushed_tasks += bundle.len() as u64;
+        self.stats.agg_flushed_bytes += bytes;
+        let arrival = self.route(at, src, dst, bundle.len(), task_bytes);
+        self.pending.push((arrival, Ev::Arrive { dst, tasks: bundle }));
+    }
+
+    /// One message on the wire: charge control path + fabric, record stats,
+    /// and return the arrival time. The caller stages the `Arrive` event.
+    fn route(&mut self, at: Time, src: usize, dst: usize, n_tasks: usize, task_bytes: u64) -> Time {
+        let payload = n_tasks as u64 * task_bytes;
         let arrival = self.fabric.transfer(
             at,
             PeId(src as u32),
@@ -402,15 +473,19 @@ impl<A: Application> Runtime<A> {
             payload,
             self.tuning.control,
         );
+        debug_assert!(
+            arrival >= self.meta_arrival[dst],
+            "payload overtook round metadata on the {src}->{dst} link"
+        );
         self.stats.messages += 1;
         self.stats.payload_bytes += payload;
-        self.stats.remote_tasks += tasks.len() as u64;
-        self.engine.schedule_at(arrival, Ev::Arrive { dst, tasks });
+        self.stats.remote_tasks += n_tasks as u64;
+        arrival
     }
 
-    fn arrive(&mut self, dst: usize, tasks: Vec<A::Task>) {
+    fn arrive(&mut self, dst: usize, mut tasks: Vec<A::Task>) {
         let mut enqueued = false;
-        for t in tasks {
+        for t in tasks.drain(..) {
             // One-sided destination-side effect (e.g. the RDMA atomicMin):
             // only improved updates enter the queue.
             if let Some(t2) = self.app.on_receive(dst, t) {
@@ -418,6 +493,11 @@ impl<A: Application> Runtime<A> {
                 self.pes[dst].queue.push(t2, prio);
                 enqueued = true;
             }
+        }
+        // Recycle the payload's backing storage: the next send pops it
+        // from the pool instead of allocating.
+        if self.vec_pool.len() < VEC_POOL_CAP {
+            self.vec_pool.push(tasks);
         }
         if enqueued {
             let wake_delay = match self.cfg.kernel {
@@ -461,10 +541,12 @@ impl<A: Application> Runtime<A> {
         let task_bytes = self.app.task_bytes();
         for dst in 0..self.pes[pe].agg.len() {
             if self.pes[pe].agg[dst].should_flush(now, batch_bytes, wait_time) {
-                let (bundle, _) = self.pes[pe].agg[dst].flush();
-                self.send(now, pe, dst, bundle, task_bytes);
+                self.flush_bundle(now, pe, dst, task_bytes);
             }
         }
+        let mut pending = std::mem::take(&mut self.pending);
+        self.engine.schedule_batch(pending.drain(..));
+        self.pending = pending;
         self.schedule_agg_poll(pe);
     }
 }

@@ -1,0 +1,118 @@
+//! Steady-state allocation accounting for the runtime's hot paths.
+//!
+//! The dispatcher used to build a `BTreeMap<usize, Vec<Task>>` per flush
+//! and `to_vec()` every chunk it sent — at least two heap allocations per
+//! message. With per-PE staging buffers and the pooled payload free-list,
+//! the steady state sends and receives without touching the allocator.
+//! This test pins that down with a counting global allocator: a relay
+//! workload pushing tens of thousands of messages must stay within a small
+//! constant allocation budget (warm-up growth of queues, heap, and pool).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use atos_core::{Application, AtosConfig, CommMode, Emitter, Runtime};
+use atos_sim::Fabric;
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// A task forwards itself to the next PE until its hop count runs out:
+/// every hop is one remote message, so allocation cost per message shows
+/// up directly.
+struct Relay {
+    n_pes: usize,
+}
+
+impl Application for Relay {
+    type Task = u32;
+
+    fn process(&mut self, pe: usize, task: u32, out: &mut Emitter<u32>) {
+        if task > 0 {
+            out.push((pe + 1) % self.n_pes, task - 1);
+        }
+    }
+
+    fn on_receive(&mut self, _pe: usize, task: u32) -> Option<u32> {
+        Some(task)
+    }
+
+    fn task_edges(&self, _t: &u32) -> u64 {
+        1
+    }
+}
+
+/// Both scenarios live in one test so the process-global counter is never
+/// polluted by a concurrently running sibling test.
+#[test]
+fn steady_state_send_paths_do_not_allocate_per_task() {
+    // Direct (fine-grained) mode: 20k hops = 20k messages. The old
+    // dispatcher allocated a BTreeMap node plus a payload vector per
+    // message (>= 40k allocations); the pooled path needs only warm-up.
+    const HOPS: u32 = 20_000;
+    let mut rt = Runtime::new(
+        Relay { n_pes: 2 },
+        Fabric::daisy(2),
+        AtosConfig {
+            comm: CommMode::Direct { group: 32 },
+            ..AtosConfig::standard_persistent()
+        },
+    );
+    rt.seed(0, [HOPS]);
+    let before = alloc_calls();
+    let stats = rt.run();
+    let during = alloc_calls() - before;
+    assert_eq!(stats.total_tasks(), HOPS as u64 + 1);
+    assert_eq!(stats.messages, HOPS as u64);
+    assert!(
+        during < 2_000,
+        "direct mode: {during} allocations for {HOPS} messages (expected warm-up only)"
+    );
+
+    // Aggregated mode: every hop opens a bundle that the age trigger
+    // flushes, so the aggregator flush path (bundle hand-off + payload
+    // recycle) runs once per message.
+    const AGG_HOPS: u32 = 5_000;
+    let mut rt = Runtime::new(
+        Relay { n_pes: 2 },
+        Fabric::ib_cluster(2),
+        AtosConfig::ib_pagerank(),
+    );
+    rt.seed(0, [AGG_HOPS]);
+    let before = alloc_calls();
+    let stats = rt.run();
+    let during = alloc_calls() - before;
+    assert_eq!(stats.total_tasks(), AGG_HOPS as u64 + 1);
+    assert_eq!(stats.agg_flushes, stats.messages);
+    assert_eq!(stats.agg_flushed_tasks, AGG_HOPS as u64);
+    assert!(stats.agg_flushes > 0);
+    assert!(
+        during < 2_000,
+        "aggregated mode: {during} allocations for {} bundles (expected warm-up only)",
+        stats.agg_flushes
+    );
+}

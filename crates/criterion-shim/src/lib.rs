@@ -1,0 +1,232 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supports the API surface the workspace's two benches use:
+//! `criterion_group!`/`criterion_main!` (both forms), `bench_function`,
+//! `benchmark_group` + `bench_with_input`, `BenchmarkId`, `black_box`,
+//! and `sample_size`.
+//!
+//! Semantics follow criterion's cargo integration: when the binary is run
+//! by `cargo bench` (cargo passes `--bench`), each benchmark is timed over
+//! `sample_size` iterations after one warm-up and the median-of-samples
+//! summary is printed; under `cargo test` (no `--bench` flag) each
+//! benchmark body runs exactly once as a smoke test, so the suite stays
+//! fast on single-core hosts. No plotting, no statistics beyond
+//! min/median/max.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export-style hint barrier (upstream `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Label the benchmark by its parameter value.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Label with an explicit function name and parameter.
+    pub fn new<P: Display>(function: &str, p: P) -> Self {
+        BenchmarkId(format!("{function}/{p}"))
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample durations of the most recent `iter` call.
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            durations: Vec::new(),
+        }
+    }
+
+    /// Run `f` once per sample, recording each sample's wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.durations.clear();
+        if self.samples > 1 {
+            black_box(f()); // warm-up, untimed
+        }
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.durations.push(t0.elapsed());
+        }
+    }
+}
+
+fn summarize(name: &str, durations: &[Duration]) {
+    if durations.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "{name:<48} median {:>12.3?}  min {:>12.3?}  max {:>12.3?}  ({} samples)",
+        median,
+        sorted[0],
+        sorted[sorted.len() - 1],
+        sorted.len()
+    );
+}
+
+/// The benchmark driver (a small subset of upstream `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            // cargo passes `--bench` when running bench targets via
+            // `cargo bench`; its absence means a `cargo test` smoke run.
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.bench_mode {
+            self.sample_size
+        } else {
+            1
+        }
+    }
+
+    /// Time one closure-under-test.
+    pub fn bench_function<S, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        S: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.effective_samples());
+        f(&mut b);
+        summarize(name.as_ref(), &b.durations);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: AsRef<str>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        println!("group: {}", name.as_ref());
+        BenchmarkGroup {
+            parent: self,
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Time one parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = if self.parent.bench_mode {
+            self.sample_size.unwrap_or(self.parent.sample_size)
+        } else {
+            1
+        };
+        let mut b = Bencher::new(samples);
+        f(&mut b, input);
+        summarize(&format!("  {}", id.0), &b.durations);
+        self
+    }
+
+    /// Close the group (upstream writes reports here; the shim is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions (both upstream forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut n = 0u32;
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("inc", |b| b.iter(|| n += 1));
+        assert!(n >= 1);
+    }
+
+    #[test]
+    fn group_runs_inputs() {
+        let mut total = 0u64;
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        for &x in &[1u64, 2, 3] {
+            g.bench_with_input(BenchmarkId::from_parameter(x), &x, |b, &x| {
+                b.iter(|| total += x)
+            });
+        }
+        g.finish();
+        assert!(total >= 6);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::from_parameter(42).0, "42");
+        assert_eq!(BenchmarkId::new("f", "x").0, "f/x");
+    }
+}

@@ -123,8 +123,8 @@ proptest! {
     }
 }
 
-/// The three families agree on any single-threaded script (differential
-/// test: same script, same results).
+// The three families agree on any single-threaded script (differential
+// test: same script, same results).
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 

@@ -9,8 +9,15 @@
 
 use crate::engine::Time;
 
-/// Width of a utilization bucket, ns (50 µs).
-pub const BUCKET_NS: Time = 50_000;
+/// Width of a utilization bucket, ns (5 µs).
+///
+/// The bucket must be finer than a BSP iteration period for barrier
+/// bursts to register as bursts: at test scale a mesh BFS iteration is a
+/// few tens of µs, so a 50 µs bucket blurred consecutive barriers into a
+/// flat series and inverted the paper's smoothing comparison (Fig. 10
+/// shape). 5 µs resolves the phase structure at every scale this repo
+/// runs.
+pub const BUCKET_NS: Time = 5_000;
 
 /// Number of power-of-two message-size histogram bins (2^0 .. 2^39 bytes).
 pub const HIST_BINS: usize = 40;

@@ -24,7 +24,7 @@ fn main() {
     let consumers = 4;
     let per = 250_000u64;
     let q: Arc<CounterQueue<u64>> =
-        Arc::new(CounterQueue::with_capacity((producers as u64 * per) as usize));
+        Arc::new(CounterQueue::with_capacity((producers * per) as usize));
     let consumed = Arc::new(AtomicU64::new(0));
     let checksum = Arc::new(AtomicU64::new(0));
     let t0 = Instant::now();

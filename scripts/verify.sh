@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Repository verification: tier-1 build+test, a parallel-sweep smoke run
+# with byte-identity check, and a clean clippy pass.
+#
+# Usage: scripts/verify.sh  (from anywhere; cd's to the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+echo
+echo "== workspace tests =="
+cargo test --workspace -q
+
+echo
+echo "== parallel sweep smoke (--quick --threads 2, byte-identity vs serial) =="
+cargo build --release --workspace --bins -q
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+for bin in table2_bfs_nvlink table5_ib; do
+    ./target/release/"$bin" --quick --threads 1 --json "$tmp/sweep.json" \
+        > "$tmp/$bin.serial.out" 2> /dev/null
+    ./target/release/"$bin" --quick --threads 2 --json "$tmp/sweep.json" \
+        > "$tmp/$bin.threads2.out" 2> /dev/null
+    if ! cmp -s "$tmp/$bin.serial.out" "$tmp/$bin.threads2.out"; then
+        echo "FAIL: $bin stdout differs between --threads 1 and --threads 2" >&2
+        diff "$tmp/$bin.serial.out" "$tmp/$bin.threads2.out" | head >&2
+        exit 1
+    fi
+    echo "ok: $bin byte-identical across thread counts"
+done
+grep -q '"table2_bfs_nvlink"' "$tmp/sweep.json" || {
+    echo "FAIL: sweep timing report missing table2_bfs_nvlink entry" >&2
+    exit 1
+}
+echo "ok: sweep timing report written"
+
+echo
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo
+echo "verify: all checks passed"
