@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use atos_core::{Application, AtosConfig, Emitter, RunStats, Runtime};
+use atos_core::{Application, AtosConfig, Emitter, NullTracer, RunStats, Runtime, RuntimeTuning, Tracer};
 use atos_graph::csr::{Csr, VertexId};
 use atos_graph::partition::Partition;
 use atos_graph::reference::UNREACHED;
@@ -139,9 +139,36 @@ pub fn run_bfs(
     fabric: Fabric,
     cfg: AtosConfig,
 ) -> BfsRun {
+    run_bfs_on(graph, partition, source, fabric, cfg, NullTracer)
+}
+
+/// Run asynchronous BFS with a virtual-time tracer attached: per-PE step
+/// spans, message instants, aggregator flush windows and occupancy
+/// counters land in `tracer` (see `atos-trace`). Tracing is observation
+/// only — depths, stats, and virtual times are identical to [`run_bfs`].
+pub fn run_bfs_traced(
+    graph: Arc<Csr>,
+    partition: Arc<Partition>,
+    source: VertexId,
+    fabric: Fabric,
+    cfg: AtosConfig,
+    tracer: &mut dyn Tracer,
+) -> BfsRun {
+    run_bfs_on(graph, partition, source, fabric, cfg, tracer)
+}
+
+fn run_bfs_on<Tr: Tracer>(
+    graph: Arc<Csr>,
+    partition: Arc<Partition>,
+    source: VertexId,
+    fabric: Fabric,
+    cfg: AtosConfig,
+    tracer: Tr,
+) -> BfsRun {
     assert_eq!(partition.n_parts(), fabric.n_pes(), "partition/fabric size");
     let app = BfsApp::new(graph, partition.clone(), source);
-    let mut rt = Runtime::new(app, fabric, cfg);
+    let cost = atos_sim::GpuCostModel::v100();
+    let mut rt = Runtime::with_tracer(app, fabric, cfg, cost, RuntimeTuning::default(), tracer);
     let src_pe = partition.owner(source);
     rt.seed(src_pe, [(source, 0u32)]);
     let stats = rt.run();
@@ -313,6 +340,36 @@ mod tests {
             pers.stats.elapsed_ms(),
             disc.stats.elapsed_ms()
         );
+    }
+
+    #[test]
+    fn traced_run_is_identical_to_untraced() {
+        use atos_core::TraceBuffer;
+        let p = Preset::by_name("soc-LiveJournal1_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let src = p.bfs_source(&g);
+        let part = Arc::new(Partition::random(g.n_vertices(), 4, 5));
+        let plain = run_bfs(
+            g.clone(),
+            part.clone(),
+            src,
+            Fabric::ib_cluster(4),
+            AtosConfig::ib_bfs(),
+        );
+        let mut buf = TraceBuffer::new();
+        let traced = run_bfs_traced(
+            g,
+            part,
+            src,
+            Fabric::ib_cluster(4),
+            AtosConfig::ib_bfs(),
+            &mut buf,
+        );
+        assert_eq!(plain.depth, traced.depth);
+        assert_eq!(plain.stats.elapsed_ns, traced.stats.elapsed_ns);
+        assert_eq!(plain.stats.messages, traced.stats.messages);
+        assert!(!buf.is_empty(), "tracer saw the run");
+        assert!(buf.events_named("step").len() as u64 >= traced.stats.steps_per_pe.iter().sum::<u64>());
     }
 
     #[test]

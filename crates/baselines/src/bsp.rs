@@ -106,6 +106,10 @@ impl BspClock {
     fn finish(mut self) -> RunStats {
         self.stats.elapsed_ns = self.clock;
         self.stats.wire_bytes = self.fabric.trace.total_wire_bytes();
+        // Extend the traffic series to the end of the run so trailing
+        // quiet time counts toward burstiness, exactly as the Atos
+        // runtime does — keeps the smoothing comparison fair.
+        self.fabric.trace.finish(self.clock);
         self.stats.burstiness = self.fabric.trace.burstiness();
         self.stats
     }

@@ -106,6 +106,49 @@ fn bench_dispatch(c: &mut Criterion) {
     });
 }
 
+/// Tracing overhead on the same relay workload: `NullTracer` (the
+/// default, must cost nothing beyond `runtime_relay_20k_hops_direct`)
+/// vs a live [`atos_core::TraceBuffer`] recording every step span and
+/// message instant.
+fn bench_tracer_overhead(c: &mut Criterion) {
+    use atos_core::{NullTracer, RuntimeTuning, TraceBuffer};
+    use atos_sim::GpuCostModel;
+
+    let cfg = || AtosConfig {
+        comm: CommMode::Direct { group: 32 },
+        ..AtosConfig::standard_persistent()
+    };
+    c.bench_function("runtime_relay_20k_hops_null_tracer", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::with_tracer(
+                Relay,
+                Fabric::daisy(2),
+                cfg(),
+                GpuCostModel::v100(),
+                RuntimeTuning::default(),
+                NullTracer,
+            );
+            rt.seed(0, [20_000u32]);
+            rt.run().messages
+        })
+    });
+    c.bench_function("runtime_relay_20k_hops_trace_buffer", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::with_tracer(
+                Relay,
+                Fabric::daisy(2),
+                cfg(),
+                GpuCostModel::v100(),
+                RuntimeTuning::default(),
+                TraceBuffer::new(),
+            );
+            rt.seed(0, [20_000u32]);
+            let msgs = rt.run().messages;
+            (msgs, rt.tracer().len())
+        })
+    });
+}
+
 fn bench_end_to_end(c: &mut Criterion, g: Arc<Csr>, src: atos_graph::csr::VertexId, part: Arc<Partition>) {
     c.bench_function("sim_bfs_tiny_4gpu_persistent", |b| {
         b.iter(|| {
@@ -131,6 +174,8 @@ fn main() {
         scale: Scale::Tiny,
         threads: default_threads(),
         json: None,
+        trace: None,
+        metrics: None,
     };
     let report = SweepReport::start("substrate_bench", &args);
     let mut built = SweepRunner::from_args(&args).run(&[0usize, 1], |_, &which| match which {
@@ -155,6 +200,7 @@ fn main() {
     bench_partitioners(&mut c, &rmat_graph);
     bench_engine(&mut c);
     bench_dispatch(&mut c);
+    bench_tracer_overhead(&mut c);
     bench_end_to_end(&mut c, g, src, part);
     report.finish();
 }

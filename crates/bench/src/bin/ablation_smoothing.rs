@@ -32,6 +32,7 @@ fn row(name: &str, stats: &RunStats) {
 
 fn main() {
     let args = BenchArgs::parse();
+    atos_bench::emit_artifacts(&args);
     let report = SweepReport::start("ablation_smoothing", &args);
     let ds = Dataset::build(Preset::by_name("soc-LiveJournal1_s").unwrap(), args.scale);
     let part = ds.partition(4);

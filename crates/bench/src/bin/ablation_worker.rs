@@ -17,6 +17,7 @@ use atos_sim::Fabric;
 
 fn main() {
     let args = BenchArgs::parse();
+    atos_bench::emit_artifacts(&args);
     let report = SweepReport::start("ablation_worker", &args);
     let ds = Dataset::build(Preset::by_name("soc-LiveJournal1_s").unwrap(), args.scale);
     let part = ds.partition(4);

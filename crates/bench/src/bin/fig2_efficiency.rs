@@ -10,6 +10,7 @@ use atos_sim::packet::{figure2_series, PacketModel};
 
 fn main() {
     let args = BenchArgs::parse();
+    atos_bench::emit_artifacts(&args);
     let report = SweepReport::start("fig2_efficiency", &args);
     println!("Figure 2: bandwidth efficiency vs requested bytes");
     println!("{:<18}{:>14}{:>14}", "requested bytes", "PCIe gen 3", "NVLink");

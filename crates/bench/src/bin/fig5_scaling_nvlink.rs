@@ -13,6 +13,7 @@ use atos_graph::generators::Preset;
 
 fn main() {
     let args = BenchArgs::parse();
+    atos_bench::emit_artifacts(&args);
     let report = SweepReport::start("fig5_scaling_nvlink", &args);
     let gpus = [1usize, 2, 3, 4];
     let datasets: Vec<Dataset> = Preset::SCALING

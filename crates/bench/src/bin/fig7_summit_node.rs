@@ -23,6 +23,7 @@ use atos_sim::Fabric;
 
 fn main() {
     let args = BenchArgs::parse();
+    atos_bench::emit_artifacts(&args);
     let report = SweepReport::start("fig7_summit_node", &args);
     let gpus = [1usize, 2, 3, 4, 5, 6];
     let names = ["soc-LiveJournal1_s", "indochina_2004_s"];

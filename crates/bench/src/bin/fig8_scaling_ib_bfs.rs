@@ -7,6 +7,7 @@ use atos_graph::generators::Preset;
 
 fn main() {
     let args = BenchArgs::parse();
+    atos_bench::emit_artifacts(&args);
     let report = SweepReport::start("fig8_scaling_ib_bfs", &args);
     let gpus = [1usize, 2, 3, 4, 5, 6, 7, 8];
     let frameworks = ["Galois", "Atos"];

@@ -7,6 +7,7 @@ use atos_graph::generators::Preset;
 
 fn main() {
     let args = BenchArgs::parse();
+    atos_bench::emit_artifacts(&args);
     let report = SweepReport::start("fig9_scaling_ib_pr", &args);
     let gpus = [1usize, 2, 3, 4, 5, 6, 7, 8];
     let frameworks = ["Galois", "Atos"];

@@ -13,6 +13,7 @@ use atos_graph::stats::stats;
 
 fn main() {
     let args = BenchArgs::parse();
+    atos_bench::emit_artifacts(&args);
     let report = SweepReport::start("table1_datasets", &args);
     println!("Table I: summary of the datasets (scaled presets, {:?})", args.scale);
     println!(

@@ -16,6 +16,7 @@ use atos_sim::Fabric;
 
 fn main() {
     let args = BenchArgs::parse();
+    atos_bench::emit_artifacts(&args);
     let report = SweepReport::start("table3_priority_workload", &args);
     let gpus = [1usize, 2, 3, 4];
     let datasets: Vec<Dataset> = Dataset::all(args.scale)

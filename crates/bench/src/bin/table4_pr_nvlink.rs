@@ -10,6 +10,7 @@ use atos_bench::{
 
 fn main() {
     let args = BenchArgs::parse();
+    atos_bench::emit_artifacts(&args);
     let report = SweepReport::start("table4_pr_nvlink", &args);
     let datasets = Dataset::all(args.scale);
     let gpus = [1usize, 2, 3, 4];

@@ -9,6 +9,7 @@ use atos_bench::{ib_ms, print_table_block, BenchArgs, Dataset, SweepReport, Swee
 
 fn main() {
     let args = BenchArgs::parse();
+    atos_bench::emit_artifacts(&args);
     let report = SweepReport::start("table5_ib", &args);
     let datasets = Dataset::all(args.scale);
     let gpus = [1usize, 2, 3, 4, 5, 6, 7, 8];

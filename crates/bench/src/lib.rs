@@ -18,8 +18,10 @@ use std::sync::Arc;
 
 use atos_core::RunStats;
 
+pub mod observability;
 pub mod sweep;
 
+pub use observability::emit_artifacts;
 pub use sweep::{BenchArgs, SweepReport, SweepRunner};
 
 use atos_apps::bfs::run_bfs;

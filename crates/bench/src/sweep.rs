@@ -37,6 +37,14 @@ pub struct BenchArgs {
     pub threads: usize,
     /// Timing-report destination override from `--json PATH`.
     pub json: Option<PathBuf>,
+    /// Chrome/Perfetto trace destination from `--trace PATH`: when set,
+    /// the binary performs one traced reference run and writes its
+    /// virtual-time timeline there (see [`crate::observability`]).
+    pub trace: Option<PathBuf>,
+    /// Metrics-snapshot destination from `--metrics PATH`: when set, the
+    /// binary dumps a [`atos_core::MetricsRegistry`] JSON snapshot of the
+    /// reference run plus host-queue contention counters.
+    pub metrics: Option<PathBuf>,
 }
 
 impl BenchArgs {
@@ -69,6 +77,8 @@ impl BenchArgs {
         let mut scale = Scale::Full;
         let mut threads: Option<usize> = None;
         let mut json: Option<PathBuf> = None;
+        let mut trace: Option<PathBuf> = None;
+        let mut metrics: Option<PathBuf> = None;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -82,9 +92,18 @@ impl BenchArgs {
                     let v = it.next().ok_or("--json requires a path")?;
                     json = Some(PathBuf::from(v));
                 }
+                "--trace" => {
+                    let v = it.next().ok_or("--trace requires a path")?;
+                    trace = Some(PathBuf::from(v));
+                }
+                "--metrics" => {
+                    let v = it.next().ok_or("--metrics requires a path")?;
+                    metrics = Some(PathBuf::from(v));
+                }
                 other => {
                     return Err(format!(
-                        "unknown argument `{other}` (supported: --quick, --threads N, --json PATH)"
+                        "unknown argument `{other}` (supported: --quick, --threads N, \
+                         --json PATH, --trace PATH, --metrics PATH)"
                     ))
                 }
             }
@@ -101,6 +120,8 @@ impl BenchArgs {
             scale,
             threads: threads.max(1),
             json,
+            trace,
+            metrics,
         })
     }
 }
@@ -298,12 +319,24 @@ mod tests {
         assert_eq!(a.scale, Scale::Full);
         assert_eq!(a.threads, 6);
         assert_eq!(a.json, None);
+        assert_eq!(a.trace, None);
+        assert_eq!(a.metrics, None);
     }
 
     #[test]
     fn parser_accepts_all_flags() {
         let a = BenchArgs::parse_from(
-            &s(&["--quick", "--threads", "4", "--json", "/tmp/r.json"]),
+            &s(&[
+                "--quick",
+                "--threads",
+                "4",
+                "--json",
+                "/tmp/r.json",
+                "--trace",
+                "/tmp/t.json",
+                "--metrics",
+                "/tmp/m.json",
+            ]),
             None,
             1,
         )
@@ -311,6 +344,8 @@ mod tests {
         assert_eq!(a.scale, Scale::Tiny);
         assert_eq!(a.threads, 4);
         assert_eq!(a.json, Some(PathBuf::from("/tmp/r.json")));
+        assert_eq!(a.trace, Some(PathBuf::from("/tmp/t.json")));
+        assert_eq!(a.metrics, Some(PathBuf::from("/tmp/m.json")));
     }
 
     #[test]
@@ -332,6 +367,8 @@ mod tests {
         assert!(BenchArgs::parse_from(&s(&["--threads"]), None, 1).is_err());
         assert!(BenchArgs::parse_from(&s(&["--threads", "many"]), None, 1).is_err());
         assert!(BenchArgs::parse_from(&s(&["--json"]), None, 1).is_err());
+        assert!(BenchArgs::parse_from(&s(&["--trace"]), None, 1).is_err());
+        assert!(BenchArgs::parse_from(&s(&["--metrics"]), None, 1).is_err());
         assert!(BenchArgs::parse_from(&[], Some("lots"), 1).is_err());
     }
 

@@ -1,0 +1,84 @@
+//! Golden-file checks for the Perfetto exporter on a deterministic BFS.
+//!
+//! Virtual-time traces are pure functions of the modeled execution, so
+//! the exported Chrome `trace_event` JSON must be *byte-identical* across
+//! runs (and host thread counts — nothing wall-clock ever enters the
+//! trace). These tests pin that property, the trace_event format
+//! contract, and the presence of every instrumented subsystem.
+
+use atos_bench::observability::reference_run;
+use atos_graph::generators::Scale;
+use atos_trace::{json, perfetto};
+
+#[test]
+fn trace_export_is_byte_identical_across_runs() {
+    let (buf_a, reg_a) = reference_run(Scale::Tiny);
+    let (buf_b, reg_b) = reference_run(Scale::Tiny);
+    let json_a = perfetto::to_chrome_json(&buf_a);
+    let json_b = perfetto::to_chrome_json(&buf_b);
+    assert_eq!(json_a, json_b, "trace must be a deterministic artifact");
+    // Run counters are equal too; only the host-contention keys (real
+    // threads) may differ between the two reference runs.
+    for (key, val) in reg_a.iter() {
+        if key.starts_with("queue.cas_retries")
+            || key.starts_with("queue.reservation_conflicts")
+            || key.starts_with("queue.host_occupancy_hwm")
+        {
+            continue;
+        }
+        assert_eq!(reg_b.get(key), Some(val), "metric {key} must be deterministic");
+    }
+}
+
+#[test]
+fn trace_export_is_valid_chrome_trace_event_json() {
+    let (buf, _) = reference_run(Scale::Tiny);
+    let exported = perfetto::to_chrome_json(&buf);
+
+    // Parses as JSON with the documented envelope.
+    let parsed = json::parse(&exported).expect("well-formed JSON");
+    let obj = match parsed {
+        json::Json::Obj(o) => o,
+        other => panic!("top level must be an object, got {other:?}"),
+    };
+    assert!(obj.contains_key("traceEvents"));
+    assert_eq!(
+        obj.get("displayTimeUnit"),
+        Some(&json::Json::Str("ms".to_string()))
+    );
+
+    // Passes the strict validator: required fields per phase, sorted
+    // non-decreasing timestamps, properly nested spans per track.
+    let summary = perfetto::validate_chrome_trace(&exported).expect("valid trace_event stream");
+    assert!(summary.spans > 0, "per-PE step spans present");
+    assert!(summary.instants > 0, "message instants present");
+    assert!(summary.counters > 0, "occupancy counters present");
+
+    // Every instrumented subsystem shows up by name.
+    for name in ["step", "send", "msg", "worklist", "recvq"] {
+        assert!(summary.names.contains(name), "missing event name {name}");
+    }
+    assert!(
+        summary.names.contains("flush[size]") || summary.names.contains("flush[age]"),
+        "aggregator flush spans present"
+    );
+}
+
+#[test]
+fn metrics_snapshot_round_trips_through_json() {
+    let (_, reg) = reference_run(Scale::Tiny);
+    let text = reg.to_json();
+    let parsed = json::parse(&text).expect("metrics JSON parses");
+    let obj = match parsed {
+        json::Json::Obj(o) => o,
+        other => panic!("metrics must serialize to an object, got {other:?}"),
+    };
+    assert_eq!(obj.len(), reg.len());
+    for (key, val) in reg.iter() {
+        assert_eq!(
+            obj.get(key),
+            Some(&json::Json::Num(val as f64)),
+            "metric {key} survives serialization"
+        );
+    }
+}

@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use atos_queue::counter::CounterQueue;
-use atos_queue::PopState;
+use atos_queue::{ContentionSnapshot, PopState};
 
 /// An application executable by the host backend. State is shared across
 /// worker threads, so implementations use atomics ([`std::sync::atomic`])
@@ -80,6 +80,10 @@ pub struct HostStats {
     pub tasks_per_pe: Vec<u64>,
     /// Tasks that crossed PEs (one-sided remote pushes).
     pub remote_pushes: u64,
+    /// Lock-free queue contention observed across every local and receive
+    /// queue: pop-reservation overshoots and occupancy high-water marks
+    /// (CAS retries stay zero — the backend uses the counter queue).
+    pub contention: ContentionSnapshot,
 }
 
 struct PeQueues<T> {
@@ -178,10 +182,17 @@ pub fn run_host<A: HostApplication>(
     });
     let elapsed = start.elapsed();
 
+    let mut contention = ContentionSnapshot::default();
+    for q in &queues {
+        contention.merge(&q.local.contention());
+        contention.merge(&q.recv.contention());
+    }
+
     HostStats {
         elapsed,
         tasks_per_pe: tasks_per_pe.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
         remote_pushes: remote_pushes.load(Ordering::Relaxed),
+        contention,
     }
 }
 
@@ -224,6 +235,10 @@ mod tests {
         assert_eq!(stats.tasks_per_pe.iter().sum::<u64>(), 101);
         // 100 hops, two thirds cross PEs... all hops cross (round-robin).
         assert_eq!(stats.remote_pushes, 100);
+        // Something was queued, so some queue saw occupancy ≥ 1; the
+        // counter backend never spins on CAS.
+        assert!(stats.contention.occupancy_hwm >= 1);
+        assert_eq!(stats.contention.cas_retries, 0);
     }
 
     /// Fan-out tree: each task spawns `width` children until depth 0;

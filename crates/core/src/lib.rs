@@ -60,3 +60,7 @@ pub use emitter::Emitter;
 pub use metrics::RunStats;
 pub use host::{run_host, HostApplication, HostConfig, HostStats};
 pub use runtime::{Runtime, RuntimeTuning};
+
+// Observability: re-export the tracing vocabulary so downstream crates can
+// drive `Runtime::with_tracer` without naming `atos-trace` directly.
+pub use atos_trace::{MetricsRegistry, NullTracer, TraceBuffer, Tracer, Track};

@@ -2,6 +2,7 @@
 //! paper reports (Table III's normalized workload, communication volumes).
 
 use atos_sim::Time;
+use atos_trace::MetricsRegistry;
 
 /// Everything measured during one runtime execution.
 #[derive(Debug, Clone, Default)]
@@ -26,10 +27,25 @@ pub struct RunStats {
     pub remote_tasks: u64,
     /// Aggregator bundles flushed (size- or age-triggered).
     pub agg_flushes: u64,
+    /// Aggregator bundles flushed by the size trigger (`BATCH_SIZE`).
+    pub agg_flushes_size: u64,
+    /// Aggregator bundles flushed by the age trigger (`WAIT_TIME`).
+    pub agg_flushes_age: u64,
     /// Tasks carried by aggregator bundles.
     pub agg_flushed_tasks: u64,
     /// Payload bytes carried by aggregator bundles.
     pub agg_flushed_bytes: u64,
+    /// Worklist occupancy high-water mark per PE (largest queue length
+    /// observed after any push).
+    pub queue_hwm_per_pe: Vec<u64>,
+    /// Step events dispatched by the engine.
+    pub ev_steps: u64,
+    /// Message-arrival events dispatched by the engine.
+    pub ev_arrivals: u64,
+    /// Aggregator-poll events dispatched by the engine.
+    pub ev_agg_polls: u64,
+    /// High-water mark of simultaneously pending simulator events.
+    pub peak_pending_events: u64,
     /// Simulator events processed during the run (scheduling steps,
     /// arrivals, aggregator polls) — the sweep harness's work metric.
     pub sim_events: u64,
@@ -46,6 +62,7 @@ impl RunStats {
             edges_per_pe: vec![0; n_pes],
             busy_ns_per_pe: vec![0; n_pes],
             steps_per_pe: vec![0; n_pes],
+            queue_hwm_per_pe: vec![0; n_pes],
             ..Default::default()
         }
     }
@@ -94,6 +111,43 @@ impl RunStats {
         }
         self.payload_bytes as f64 / self.messages as f64
     }
+
+    /// Dump every counter into `reg` under dotted namespaces
+    /// (`run.*`, `comm.*`, `agg.*`, `engine.*`, `queue.*`, `pe<i>.*`) —
+    /// the shape the bench binaries' `--metrics` flag serializes.
+    pub fn fill_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.set("run.elapsed_ns", self.elapsed_ns);
+        reg.set("run.tasks", self.total_tasks());
+        reg.set("run.edges", self.total_edges());
+        reg.set("run.steps", self.steps_per_pe.iter().sum());
+        reg.set("comm.messages", self.messages);
+        reg.set("comm.payload_bytes", self.payload_bytes);
+        reg.set("comm.wire_bytes", self.wire_bytes);
+        reg.set("comm.remote_tasks", self.remote_tasks);
+        reg.set("agg.flushes", self.agg_flushes);
+        reg.set("agg.flushes_size", self.agg_flushes_size);
+        reg.set("agg.flushes_age", self.agg_flushes_age);
+        reg.set("agg.flushed_tasks", self.agg_flushed_tasks);
+        reg.set("agg.flushed_bytes", self.agg_flushed_bytes);
+        reg.set("engine.events", self.sim_events);
+        reg.set("engine.ev_steps", self.ev_steps);
+        reg.set("engine.ev_arrivals", self.ev_arrivals);
+        reg.set("engine.ev_agg_polls", self.ev_agg_polls);
+        reg.set("engine.peak_pending_events", self.peak_pending_events);
+        reg.set(
+            "queue.occupancy_hwm",
+            self.queue_hwm_per_pe.iter().copied().max().unwrap_or(0),
+        );
+        for (pe, &hwm) in self.queue_hwm_per_pe.iter().enumerate() {
+            reg.set(&format!("pe{pe}.occupancy_hwm"), hwm);
+        }
+        for (pe, &busy) in self.busy_ns_per_pe.iter().enumerate() {
+            reg.set(&format!("pe{pe}.busy_ns"), busy);
+        }
+        for (pe, &tasks) in self.tasks_per_pe.iter().enumerate() {
+            reg.set(&format!("pe{pe}.tasks"), tasks);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +167,27 @@ mod tests {
         assert!((s.normalized_workload(80) - 1.25).abs() < 1e-12);
         assert!((s.utilization() - 0.75).abs() < 1e-12);
         assert!((s.mean_message_bytes() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_metrics_covers_namespaces() {
+        let mut s = RunStats::new(2);
+        s.elapsed_ns = 1_000;
+        s.tasks_per_pe = vec![3, 4];
+        s.queue_hwm_per_pe = vec![10, 25];
+        s.agg_flushes_size = 2;
+        s.agg_flushes_age = 1;
+        s.ev_steps = 9;
+        s.peak_pending_events = 5;
+        let mut reg = MetricsRegistry::new();
+        s.fill_metrics(&mut reg);
+        assert_eq!(reg.get("run.tasks"), Some(7));
+        assert_eq!(reg.get("queue.occupancy_hwm"), Some(25));
+        assert_eq!(reg.get("pe1.occupancy_hwm"), Some(25));
+        assert_eq!(reg.get("agg.flushes_size"), Some(2));
+        assert_eq!(reg.get("agg.flushes_age"), Some(1));
+        assert_eq!(reg.get("engine.ev_steps"), Some(9));
+        assert_eq!(reg.get("engine.peak_pending_events"), Some(5));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //!   [`AggBuffer`]s instead, and bundles leave on the size/age triggers.
 
 use atos_sim::{ControlPath, Engine, Fabric, GpuCostModel, PeId, Time};
+use atos_trace::{NullTracer, Tracer, Track};
 
 use crate::aggregator::AggBuffer;
 use crate::app::{Application, IdleOutcome};
@@ -108,7 +109,13 @@ struct Pe<T> {
 
 /// The Atos runtime: an [`Application`] executing under an [`AtosConfig`]
 /// on a simulated [`Fabric`].
-pub struct Runtime<A: Application> {
+///
+/// `Tr` is the virtual-time event sink, defaulting to [`NullTracer`]: the
+/// tracing calls are monomorphized, so the default compiles to the exact
+/// pre-instrumentation runtime (no branches, no allocations — pinned by
+/// `tests/alloc_count.rs`). Use [`Runtime::with_tracer`] to collect a
+/// timeline into an `atos_trace::TraceBuffer` (or any `&mut dyn Tracer`).
+pub struct Runtime<A: Application, Tr: Tracer = NullTracer> {
     engine: Engine<Ev<A::Task>>,
     fabric: Fabric,
     cost: GpuCostModel,
@@ -132,6 +139,9 @@ pub struct Runtime<A: Application> {
     /// peer (0 = none in flight). Used to assert that link FIFO order
     /// makes metadata gate the payload that follows it.
     meta_arrival: Vec<Time>,
+    /// Virtual-time event sink ([`NullTracer`] unless built with
+    /// [`Runtime::with_tracer`]).
+    tracer: Tr,
 }
 
 impl<A: Application> Runtime<A> {
@@ -153,6 +163,22 @@ impl<A: Application> Runtime<A> {
         cfg: AtosConfig,
         cost: GpuCostModel,
         tuning: RuntimeTuning,
+    ) -> Self {
+        Runtime::with_tracer(app, fabric, cfg, cost, tuning, NullTracer)
+    }
+}
+
+impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
+    /// Build with an explicit virtual-time tracer (see [`atos_trace`]):
+    /// per-PE kernel-step spans, message send→arrive instants, aggregator
+    /// flush windows, and occupancy counters are recorded into `tracer`.
+    pub fn with_tracer(
+        app: A,
+        fabric: Fabric,
+        cfg: AtosConfig,
+        cost: GpuCostModel,
+        tuning: RuntimeTuning,
+        tracer: Tr,
     ) -> Self {
         let n = fabric.n_pes();
         let pes = (0..n)
@@ -185,7 +211,13 @@ impl<A: Application> Runtime<A> {
             vec_pool: Vec::new(),
             pending: Vec::new(),
             meta_arrival: vec![0; n],
+            tracer,
         }
+    }
+
+    /// Borrow the tracer (inspect the collected timeline after `run`).
+    pub fn tracer(&self) -> &Tr {
+        &self.tracer
     }
 
     /// Number of PEs.
@@ -209,16 +241,37 @@ impl<A: Application> Runtime<A> {
             let prio = self.app.priority(&t);
             self.pes[pe].queue.push(t, prio);
         }
+        self.note_queue_depth(pe);
         self.wake(pe, 0);
+    }
+
+    /// Track the worklist occupancy high-water mark after a push burst.
+    #[inline]
+    fn note_queue_depth(&mut self, pe: usize) {
+        let len = self.pes[pe].queue.len() as u64;
+        if len > self.stats.queue_hwm_per_pe[pe] {
+            self.stats.queue_hwm_per_pe[pe] = len;
+        }
     }
 
     /// Execute to global quiescence; returns the run's measurements.
     pub fn run(&mut self) -> RunStats {
         while let Some((_, ev)) = self.engine.pop() {
+            // Per-event-kind dispatch counts (the engine is generic over
+            // the event payload, so the kinds are tallied here).
             match ev {
-                Ev::Step { pe } => self.step(pe),
-                Ev::Arrive { dst, tasks } => self.arrive(dst, tasks),
-                Ev::AggPoll { pe } => self.agg_poll(pe),
+                Ev::Step { pe } => {
+                    self.stats.ev_steps += 1;
+                    self.step(pe);
+                }
+                Ev::Arrive { dst, tasks } => {
+                    self.stats.ev_arrivals += 1;
+                    self.arrive(dst, tasks);
+                }
+                Ev::AggPoll { pe } => {
+                    self.stats.ev_agg_polls += 1;
+                    self.agg_poll(pe);
+                }
             }
             assert!(
                 self.engine.processed() < MAX_EVENTS,
@@ -226,10 +279,14 @@ impl<A: Application> Runtime<A> {
                 self.engine.processed()
             );
         }
+        // Extend the utilization series to the true run end so trailing
+        // compute-only time counts toward the burstiness statistic.
+        self.fabric.trace.finish(self.engine.now());
         self.stats.elapsed_ns = self.engine.now();
         self.stats.wire_bytes = self.fabric.trace.total_wire_bytes();
         self.stats.burstiness = self.fabric.trace.burstiness();
         self.stats.sim_events = self.engine.processed();
+        self.stats.peak_pending_events = self.engine.max_pending() as u64;
         self.stats.clone()
     }
 
@@ -303,6 +360,21 @@ impl<A: Application> Runtime<A> {
             busy += self.cost.kernel_cycle_ns();
         }
         self.stats.busy_ns_per_pe[pe] += busy;
+        if self.tracer.is_enabled() {
+            self.tracer.span(
+                Track::pe(pe),
+                now,
+                busy,
+                "step",
+                ["tasks", "edges"],
+                [got as u64, edges],
+            );
+            // Worklist occupancy at the start of the step: the popped
+            // batch plus whatever remained in the queue.
+            let remaining = self.pes[pe].queue.len() as u64;
+            self.tracer
+                .counter(Track::pe(pe), now, "worklist", got as u64 + remaining);
+        }
 
         self.absorb_local(pe, &mut em);
         self.dispatch_remote(pe, &mut em, now, busy);
@@ -328,6 +400,7 @@ impl<A: Application> Runtime<A> {
             let prio = self.app.priority(&t);
             self.pes[pe].queue.push(t, prio);
         }
+        self.note_queue_depth(pe);
     }
 
     /// Route remote emissions: group per destination and either send
@@ -428,7 +501,7 @@ impl<A: Application> Runtime<A> {
                         self.pes[src].agg[dst].push(t, task_bytes, t_push);
                         if self.pes[src].agg[dst].should_flush(t_push, batch_bytes, wait_time)
                         {
-                            self.flush_bundle(t_push, src, dst, task_bytes);
+                            self.flush_bundle(t_push, src, dst, task_bytes, batch_bytes);
                         }
                     }
                     tasks.clear();
@@ -451,13 +524,33 @@ impl<A: Application> Runtime<A> {
     }
 
     /// Flush one aggregator bundle into a pooled payload and stage its
-    /// arrival.
-    fn flush_bundle(&mut self, at: Time, src: usize, dst: usize, task_bytes: u64) {
+    /// arrival. `batch_bytes` is the size trigger, used to classify the
+    /// flush (a bundle at or above it flushed on size, otherwise on age).
+    fn flush_bundle(&mut self, at: Time, src: usize, dst: usize, task_bytes: u64, batch_bytes: u64) {
+        let by_size = self.pes[src].agg[dst].bytes() >= batch_bytes;
+        let opened = self.pes[src].agg[dst].opened_at().unwrap_or(at);
         let replacement = self.vec_pool.pop().unwrap_or_default();
         let (bundle, bytes) = self.pes[src].agg[dst].flush_with(replacement);
         self.stats.agg_flushes += 1;
+        if by_size {
+            self.stats.agg_flushes_size += 1;
+        } else {
+            self.stats.agg_flushes_age += 1;
+        }
         self.stats.agg_flushed_tasks += bundle.len() as u64;
         self.stats.agg_flushed_bytes += bytes;
+        if self.tracer.is_enabled() {
+            // The aggregation window: from the oldest queued item to the
+            // flush, on the (src, dst) pair's own track.
+            self.tracer.span(
+                Track::agg(src, dst),
+                opened,
+                at.saturating_sub(opened),
+                if by_size { "flush[size]" } else { "flush[age]" },
+                ["bytes", "tasks"],
+                [bytes, bundle.len() as u64],
+            );
+        }
         let arrival = self.route(at, src, dst, bundle.len(), task_bytes);
         self.pending.push((arrival, Ev::Arrive { dst, tasks: bundle }));
     }
@@ -480,6 +573,25 @@ impl<A: Application> Runtime<A> {
         self.stats.messages += 1;
         self.stats.payload_bytes += payload;
         self.stats.remote_tasks += n_tasks as u64;
+        if self.tracer.is_enabled() {
+            // Message lifecycle: a send mark on the source timeline at
+            // issue, and an arrival mark carrying the end-to-end latency
+            // on the destination timeline.
+            self.tracer.instant(
+                Track::pe(src),
+                at,
+                "send",
+                ["dst", "tasks"],
+                [dst as u64, n_tasks as u64],
+            );
+            self.tracer.instant(
+                Track::pe(dst),
+                arrival,
+                "msg",
+                ["latency_ns", "bytes"],
+                [arrival.saturating_sub(at), payload],
+            );
+        }
         arrival
     }
 
@@ -498,6 +610,13 @@ impl<A: Application> Runtime<A> {
         // from the pool instead of allocating.
         if self.vec_pool.len() < VEC_POOL_CAP {
             self.vec_pool.push(tasks);
+        }
+        self.note_queue_depth(dst);
+        if self.tracer.is_enabled() {
+            // Receive-queue occupancy right after this delivery landed.
+            let now = self.engine.now();
+            let len = self.pes[dst].queue.len() as u64;
+            self.tracer.counter(Track::pe(dst), now, "recvq", len);
         }
         if enqueued {
             let wake_delay = match self.cfg.kernel {
@@ -541,7 +660,7 @@ impl<A: Application> Runtime<A> {
         let task_bytes = self.app.task_bytes();
         for dst in 0..self.pes[pe].agg.len() {
             if self.pes[pe].agg[dst].should_flush(now, batch_bytes, wait_time) {
-                self.flush_bundle(now, pe, dst, task_bytes);
+                self.flush_bundle(now, pe, dst, task_bytes, batch_bytes);
             }
         }
         let mut pending = std::mem::take(&mut self.pending);
@@ -860,6 +979,80 @@ mod tests {
         assert_eq!(s.remote_tasks, 300);
         // One age-triggered bundle per destination.
         assert_eq!(s.messages, 3);
+    }
+
+    #[test]
+    fn tracer_records_steps_messages_and_flushes() {
+        use atos_trace::{EventKind, TraceBuffer};
+
+        // Aggregated IB config: exercises step spans, send/msg instants,
+        // flush windows, and occupancy counters in one run.
+        let mut rt = Runtime::with_tracer(
+            FanOut { width: 500 },
+            Fabric::ib_cluster(2),
+            AtosConfig::ib_bfs(),
+            GpuCostModel::v100(),
+            RuntimeTuning::default(),
+            TraceBuffer::new(),
+        );
+        rt.seed(0, [(0u32, true)]);
+        let stats = rt.run();
+        let buf = rt.tracer();
+
+        let steps = buf.events_named("step");
+        assert_eq!(
+            steps.len() as u64,
+            stats.steps_per_pe.iter().sum::<u64>(),
+            "one span per scheduling step"
+        );
+        assert!(steps
+            .iter()
+            .all(|e| matches!(e.kind, EventKind::Span { .. })));
+
+        let flushes = buf.events_named("flush[size]").len() as u64
+            + buf.events_named("flush[age]").len() as u64;
+        assert_eq!(flushes, stats.agg_flushes, "one span per flush, tagged");
+        assert_eq!(stats.agg_flushes_size + stats.agg_flushes_age, stats.agg_flushes);
+
+        assert_eq!(
+            buf.events_named("msg").len() as u64,
+            stats.messages,
+            "one arrival instant per message"
+        );
+        assert_eq!(
+            buf.counter_peak("worklist").unwrap(),
+            stats.queue_hwm_per_pe.iter().copied().max().unwrap(),
+            "sampled occupancy peak matches the tracked high-water mark"
+        );
+
+        // All timestamps live inside the run.
+        assert!(buf.events().iter().all(|e| e.at <= stats.elapsed_ns));
+    }
+
+    #[test]
+    fn null_traced_run_matches_traced_run() {
+        let mut plain = daisy_runtime(4, AtosConfig::standard_persistent());
+        plain.seed(0, [25u32]);
+        let a = plain.run();
+        let mut traced = Runtime::with_tracer(
+            Relay {
+                n_pes: 4,
+                processed: 0,
+                received: 0,
+            },
+            Fabric::daisy(4),
+            AtosConfig::standard_persistent(),
+            GpuCostModel::v100(),
+            RuntimeTuning::default(),
+            atos_trace::TraceBuffer::new(),
+        );
+        traced.seed(0, [25u32]);
+        let b = traced.run();
+        // Tracing is observation only: identical virtual execution.
+        assert_eq!(a.elapsed_ns, b.elapsed_ns);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.sim_events, b.sim_events);
+        assert!(!traced.tracer().is_empty());
     }
 
     #[test]

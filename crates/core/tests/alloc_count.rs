@@ -11,8 +11,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use atos_core::{Application, AtosConfig, CommMode, Emitter, Runtime};
+use atos_core::{Application, AtosConfig, CommMode, Emitter, NullTracer, Runtime, RuntimeTuning};
 use atos_sim::Fabric;
+use atos_sim::GpuCostModel;
 
 struct CountingAlloc;
 
@@ -114,5 +115,29 @@ fn steady_state_send_paths_do_not_allocate_per_task() {
         during < 2_000,
         "aggregated mode: {during} allocations for {} bundles (expected warm-up only)",
         stats.agg_flushes
+    );
+
+    // Tracing disabled (`NullTracer`, spelled out explicitly): the
+    // instrumentation hooks in step/route/arrive/flush must compile down
+    // to nothing — same warm-up-only budget as the untraced baseline.
+    let mut rt = Runtime::with_tracer(
+        Relay { n_pes: 2 },
+        Fabric::daisy(2),
+        AtosConfig {
+            comm: CommMode::Direct { group: 32 },
+            ..AtosConfig::standard_persistent()
+        },
+        GpuCostModel::v100(),
+        RuntimeTuning::default(),
+        NullTracer,
+    );
+    rt.seed(0, [HOPS]);
+    let before = alloc_calls();
+    let stats = rt.run();
+    let during = alloc_calls() - before;
+    assert_eq!(stats.messages, HOPS as u64);
+    assert!(
+        during < 2_000,
+        "NullTracer: {during} allocations for {HOPS} messages (disabled tracing must not allocate)"
     );
 }

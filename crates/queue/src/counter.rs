@@ -54,6 +54,7 @@ use core::mem::MaybeUninit;
 use core::sync::atomic::{AtomicU64, Ordering};
 
 use crate::padded::Padded;
+use crate::stats::{self, ContentionCounters, ContentionSnapshot};
 use crate::{ConcurrentQueue, PopState, QueueFull};
 
 /// Re-export so `use atos_queue::counter::PopHandle` reads naturally in
@@ -71,6 +72,7 @@ pub struct CounterQueue<T> {
     end_alloc: Padded<AtomicU64>,
     end_max: Padded<AtomicU64>,
     end_count: Padded<AtomicU64>,
+    counters: ContentionCounters,
 }
 
 // SAFETY: slots are plain memory; all cross-thread slot access is mediated by
@@ -97,6 +99,7 @@ impl<T: Copy + Send> CounterQueue<T> {
             end_alloc: Padded::new(AtomicU64::new(0)),
             end_max: Padded::new(AtomicU64::new(0)),
             end_count: Padded::new(AtomicU64::new(0)),
+            counters: ContentionCounters::new(),
         }
     }
 
@@ -138,6 +141,11 @@ impl<T: Copy + Send> CounterQueue<T> {
         if prev + n == m {
             self.end.fetch_max(m, Ordering::AcqRel);
         }
+        // Observability only (off the counter-protocol cache lines): how
+        // full did the queue get after this push.
+        let e = self.end.load(Ordering::Relaxed);
+        let s = self.start.load(Ordering::Relaxed);
+        self.counters.raise_occupancy(e.saturating_sub(s));
         Ok(())
     }
 
@@ -173,6 +181,11 @@ impl<T: Copy + Send> CounterQueue<T> {
             }
             let want = ((max - produced) as u64).min(e - s);
             let old = self.start.fetch_add(want, Ordering::Relaxed);
+            if old + want > e {
+                // Racing poppers moved `start` past our availability
+                // estimate: part of this claim waits for publication.
+                self.counters.add_reservation_conflict();
+            }
             state.claim_lo = old;
             state.cursor = old;
             state.claim_hi = old + want;
@@ -234,12 +247,27 @@ impl<T: Copy + Send> CounterQueue<T> {
     }
 
     /// Reset the queue for a new epoch. Exclusive access makes this race-free.
+    /// Contention counters are *not* reset: they are lifetime totals,
+    /// folded into [`stats::global_snapshot`] when the queue drops.
     pub fn reset(&mut self) {
         *self.start.get_mut() = 0;
         *self.end.get_mut() = 0;
         *self.end_alloc.get_mut() = 0;
         *self.end_max.get_mut() = 0;
         *self.end_count.get_mut() = 0;
+    }
+
+    /// Lifetime contention totals for this queue (reservation conflicts
+    /// and occupancy high-water; `cas_retries` stays 0 — this family has
+    /// no CAS loop, which is its whole point).
+    pub fn contention(&self) -> ContentionSnapshot {
+        self.counters.snapshot()
+    }
+}
+
+impl<T> Drop for CounterQueue<T> {
+    fn drop(&mut self) {
+        stats::absorb(self.counters.snapshot());
     }
 }
 
@@ -342,6 +370,25 @@ mod tests {
         assert_eq!(q.pop_group(&mut h, 4, &mut out), 4);
         assert_eq!(q.pop_group(&mut h, 4, &mut out), 2);
         assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn contention_counters_track_occupancy_and_conflicts() {
+        let q = CounterQueue::with_capacity(64);
+        q.push_group(&[1u32, 2, 3, 4, 5]).unwrap();
+        let s = q.contention();
+        assert_eq!(s.occupancy_hwm, 5);
+        assert_eq!(s.cas_retries, 0, "counter queue has no CAS loop");
+        assert_eq!(
+            s.reservation_conflicts, 0,
+            "single-threaded pops never overshoot"
+        );
+        let mut h = PopState::new();
+        let mut out = Vec::new();
+        q.pop_group(&mut h, 5, &mut out);
+        q.push_group(&[6, 7]).unwrap();
+        // High-water mark is sticky even though occupancy dropped.
+        assert_eq!(q.contention().occupancy_hwm, 5);
     }
 
     #[test]

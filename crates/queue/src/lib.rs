@@ -51,6 +51,9 @@ pub mod broker;
 pub mod cas;
 pub mod counter;
 pub mod padded;
+pub mod stats;
+
+pub use stats::ContentionSnapshot;
 
 /// Error returned when a push would exceed the queue's fixed arena capacity.
 ///

@@ -1,0 +1,186 @@
+//! Contention observability counters for the queue families.
+//!
+//! The paper's Figure 1 argument is *statistical* — "CAS failure
+//! probability increases significantly with increasing contention" — so
+//! the queues count the contention events themselves: CAS retry loop
+//! iterations ([`crate::cas::CasQueue`]), pop-reservation overshoots past
+//! the publication frontier ([`crate::counter::CounterQueue`]), and
+//! occupancy high-water marks (both). Counters are per-queue [`Padded`]
+//! relaxed atomics updated off the reservation fast path (retries are
+//! tallied locally and added once per operation), so instrumentation does
+//! not itself add a contended cache line to the protocol under study.
+//!
+//! On drop each queue folds its totals into a process-wide tally,
+//! [`global_snapshot`], which the bench binaries' `--metrics` flag dumps.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use crate::padded::Padded;
+
+/// Per-queue contention counters. All updates are `Relaxed`: these are
+/// statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct ContentionCounters {
+    cas_retries: Padded<AtomicU64>,
+    reservation_conflicts: Padded<AtomicU64>,
+    occupancy_hwm: Padded<AtomicU64>,
+}
+
+impl ContentionCounters {
+    /// Fresh zeroed counters.
+    pub const fn new() -> Self {
+        ContentionCounters {
+            cas_retries: Padded::new(AtomicU64::new(0)),
+            reservation_conflicts: Padded::new(AtomicU64::new(0)),
+            occupancy_hwm: Padded::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Add `n` failed compare-exchange iterations (no-op for `n == 0`, the
+    /// uncontended common case, so the counter line stays cold).
+    #[inline]
+    pub fn add_cas_retries(&self, n: u64) {
+        if n > 0 {
+            self.cas_retries.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one pop reservation that overshot the publication frontier
+    /// (the claim could not be filled immediately).
+    #[inline]
+    pub fn add_reservation_conflict(&self) {
+        self.reservation_conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raise the occupancy high-water mark to `occupancy` if larger.
+    #[inline]
+    pub fn raise_occupancy(&self, occupancy: u64) {
+        self.occupancy_hwm.fetch_max(occupancy, Ordering::Relaxed);
+    }
+
+    /// Copy out the current values.
+    pub fn snapshot(&self) -> ContentionSnapshot {
+        ContentionSnapshot {
+            cas_retries: self.cas_retries.load(Ordering::Relaxed),
+            reservation_conflicts: self.reservation_conflicts.load(Ordering::Relaxed),
+            occupancy_hwm: self.occupancy_hwm.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters (exclusive access, used by `reset`).
+    pub fn clear(&mut self) {
+        *self.cas_retries.get_mut() = 0;
+        *self.reservation_conflicts.get_mut() = 0;
+        *self.occupancy_hwm.get_mut() = 0;
+    }
+}
+
+/// A point-in-time copy of one queue's (or the process's) counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContentionSnapshot {
+    /// Failed compare-exchange iterations across all CAS retry loops.
+    pub cas_retries: u64,
+    /// Pop reservations that overshot the publication frontier.
+    pub reservation_conflicts: u64,
+    /// Largest published-minus-reserved occupancy ever observed.
+    pub occupancy_hwm: u64,
+}
+
+impl ContentionSnapshot {
+    /// Fold `other` into `self`: counts add, high-water marks take max.
+    pub fn merge(&mut self, other: &ContentionSnapshot) {
+        self.cas_retries += other.cas_retries;
+        self.reservation_conflicts += other.reservation_conflicts;
+        self.occupancy_hwm = self.occupancy_hwm.max(other.occupancy_hwm);
+    }
+}
+
+static GLOBAL_CAS_RETRIES: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_RESERVATION_CONFLICTS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_OCCUPANCY_HWM: AtomicU64 = AtomicU64::new(0);
+
+/// Fold a (usually dropping) queue's totals into the process-wide tally.
+pub fn absorb(s: ContentionSnapshot) {
+    if s.cas_retries > 0 {
+        GLOBAL_CAS_RETRIES.fetch_add(s.cas_retries, Ordering::Relaxed);
+    }
+    if s.reservation_conflicts > 0 {
+        GLOBAL_RESERVATION_CONFLICTS.fetch_add(s.reservation_conflicts, Ordering::Relaxed);
+    }
+    GLOBAL_OCCUPANCY_HWM.fetch_max(s.occupancy_hwm, Ordering::Relaxed);
+}
+
+/// Process-wide contention tally over every queue dropped (or absorbed)
+/// so far. Monotone within a process; intended for end-of-run metrics
+/// dumps, not for assertions in parallel test suites.
+pub fn global_snapshot() -> ContentionSnapshot {
+    ContentionSnapshot {
+        cas_retries: GLOBAL_CAS_RETRIES.load(Ordering::Relaxed),
+        reservation_conflicts: GLOBAL_RESERVATION_CONFLICTS.load(Ordering::Relaxed),
+        occupancy_hwm: GLOBAL_OCCUPANCY_HWM.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = ContentionCounters::new();
+        c.add_cas_retries(0); // no-op path
+        c.add_cas_retries(3);
+        c.add_reservation_conflict();
+        c.raise_occupancy(10);
+        c.raise_occupancy(4); // lower: ignored
+        let s = c.snapshot();
+        assert_eq!(
+            s,
+            ContentionSnapshot {
+                cas_retries: 3,
+                reservation_conflicts: 1,
+                occupancy_hwm: 10
+            }
+        );
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut c = ContentionCounters::new();
+        c.add_cas_retries(5);
+        c.raise_occupancy(7);
+        c.clear();
+        assert_eq!(c.snapshot(), ContentionSnapshot::default());
+    }
+
+    #[test]
+    fn merge_adds_counts_maxes_hwm() {
+        let mut a = ContentionSnapshot {
+            cas_retries: 1,
+            reservation_conflicts: 2,
+            occupancy_hwm: 5,
+        };
+        a.merge(&ContentionSnapshot {
+            cas_retries: 10,
+            reservation_conflicts: 0,
+            occupancy_hwm: 3,
+        });
+        assert_eq!(a.cas_retries, 11);
+        assert_eq!(a.reservation_conflicts, 2);
+        assert_eq!(a.occupancy_hwm, 5);
+    }
+
+    #[test]
+    fn global_tally_is_monotone() {
+        let before = global_snapshot();
+        absorb(ContentionSnapshot {
+            cas_retries: 2,
+            reservation_conflicts: 1,
+            occupancy_hwm: 123,
+        });
+        let after = global_snapshot();
+        assert!(after.cas_retries >= before.cas_retries + 2);
+        assert!(after.reservation_conflicts > before.reservation_conflicts);
+        assert!(after.occupancy_hwm >= 123);
+    }
+}

@@ -59,6 +59,7 @@ pub struct Engine<E> {
     seq: u64,
     heap: BinaryHeap<Reverse<Scheduled<E>>>,
     processed: u64,
+    max_pending: usize,
 }
 
 impl<E> Default for Engine<E> {
@@ -75,6 +76,7 @@ impl<E> Engine<E> {
             seq: 0,
             heap: BinaryHeap::new(),
             processed: 0,
+            max_pending: 0,
         }
     }
 
@@ -93,6 +95,7 @@ impl<E> Engine<E> {
         let key = Key { at, seq: self.seq };
         self.seq += 1;
         self.heap.push(Reverse(Scheduled { key, event }));
+        self.max_pending = self.max_pending.max(self.heap.len());
     }
 
     /// Schedule `event` after a `delay` relative to now.
@@ -153,6 +156,13 @@ impl<E> Engine<E> {
     /// Total events processed so far (diagnostics and runaway guards).
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+
+    /// High-water mark of simultaneously pending events — how deep the
+    /// heap ever got. Observability metric: bounds the simulator's memory
+    /// footprint and exposes scheduling burstiness.
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
     }
 }
 
@@ -222,6 +232,21 @@ mod tests {
         e.pop();
         assert_eq!(e.processed(), 1);
         assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn max_pending_tracks_high_water() {
+        let mut e = Engine::new();
+        assert_eq!(e.max_pending(), 0);
+        e.schedule_at(1, ());
+        e.schedule_at(2, ());
+        e.schedule_at(3, ());
+        e.pop();
+        e.pop();
+        e.schedule_at(4, ());
+        // Peak was 3 simultaneous events; current pending is 2.
+        assert_eq!(e.pending(), 2);
+        assert_eq!(e.max_pending(), 3);
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub struct FabricTrace {
     size_hist: [u64; HIST_BINS],
     total_messages: u64,
     total_wire_bytes: u64,
+    /// Exact running payload-byte sum; [`FabricTrace::mean_message_size`]
+    /// divides this (the histogram is kept for shape only).
+    total_payload_bytes: u64,
     /// Per-link wire-byte totals (indexed by link id).
     per_link: Vec<u64>,
 }
@@ -49,6 +52,7 @@ impl FabricTrace {
             size_hist: [0; HIST_BINS],
             total_messages: 0,
             total_wire_bytes: 0,
+            total_payload_bytes: 0,
             per_link: Vec::new(),
         }
     }
@@ -70,8 +74,27 @@ impl FabricTrace {
     /// Record one application message of `payload` bytes.
     pub fn record_message(&mut self, payload: u64) {
         self.total_messages += 1;
+        self.total_payload_bytes += payload;
         let bin = (64 - u64::leading_zeros(payload.max(1)) - 1) as usize;
         self.size_hist[bin.min(HIST_BINS - 1)] += 1;
+    }
+
+    /// Extend the utilization bucket series to cover `[0, at]`.
+    ///
+    /// `record_link` only grows the series to the last bucket that saw
+    /// traffic, so a run whose tail is pure compute would otherwise drop
+    /// its trailing idle time from the burstiness statistic (idle buckets
+    /// raise the coefficient of variation). The runtime calls this once
+    /// with the final virtual time; calling it again with an earlier time
+    /// is a no-op, and a trace that saw no traffic at all stays empty.
+    pub fn finish(&mut self, at: Time) {
+        if self.total_wire_bytes == 0 {
+            return;
+        }
+        let need = (at / BUCKET_NS) as usize + 1;
+        if need > self.buckets.len() {
+            self.buckets.resize(need, 0);
+        }
     }
 
     /// Total messages recorded.
@@ -128,24 +151,19 @@ impl FabricTrace {
         Some(var.sqrt() / mean)
     }
 
-    /// Mean payload size per message, bytes.
+    /// Total payload bytes recorded (excludes wire framing).
+    pub fn total_payload_bytes(&self) -> u64 {
+        self.total_payload_bytes
+    }
+
+    /// Mean payload size per message, bytes — exact, from the running
+    /// payload sum (wire bytes include framing, so the wire total cannot
+    /// be used; the histogram is kept for distribution shape only).
     pub fn mean_message_size(&self) -> f64 {
         if self.total_messages == 0 {
             return 0.0;
         }
-        // Approximate from histogram bin centers (wire bytes include
-        // framing so we reconstruct from the histogram, not totals).
-        let mut sum = 0.0;
-        let mut cnt = 0.0;
-        for (sz, c) in self.size_histogram() {
-            sum += (sz as f64 * 1.5) * c as f64;
-            cnt += c as f64;
-        }
-        if cnt == 0.0 {
-            0.0
-        } else {
-            sum / cnt
-        }
+        self.total_payload_bytes as f64 / self.total_messages as f64
     }
 }
 
@@ -186,13 +204,13 @@ mod tests {
             smooth.record_link(0, i * BUCKET_NS, 1000);
         }
         let mut bursty = FabricTrace::new();
-        for i in 0..100 {
-            let bytes = if i % 10 == 0 { 10_000 } else { 0 };
-            bursty.record_link(0, i * BUCKET_NS, bytes);
+        for i in 0..10 {
+            bursty.record_link(0, i * 10 * BUCKET_NS, 10_000);
         }
-        // Bucket vector only extends to the last *recorded* traffic; force
-        // equal lengths by recording a tail byte.
-        bursty.record_link(0, 99 * BUCKET_NS, 1);
+        // Bursts stop at bucket 90; extend both series to the same run
+        // end so trailing idle counts toward the variance.
+        bursty.finish(99 * BUCKET_NS);
+        smooth.finish(99 * BUCKET_NS);
         let s = smooth.burstiness().unwrap();
         let b = bursty.burstiness().unwrap();
         assert!(b > 2.0 * s, "smooth={s} bursty={b}");
@@ -209,5 +227,36 @@ mod tests {
         let mut t = FabricTrace::new();
         t.record_message(0);
         assert_eq!(t.size_histogram(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn mean_message_size_is_exact() {
+        let mut t = FabricTrace::new();
+        assert_eq!(t.mean_message_size(), 0.0);
+        // 65 and 127 share the 2^6 histogram bin; the mean must still be
+        // exact, not reconstructed from bin centers.
+        t.record_message(65);
+        t.record_message(127);
+        t.record_message(8);
+        assert_eq!(t.total_payload_bytes(), 200);
+        assert!((t.mean_message_size() - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finish_extends_series_to_run_end() {
+        let mut t = FabricTrace::new();
+        t.record_link(0, 0, 100);
+        assert_eq!(t.utilization_series().len(), 1);
+        t.finish(10 * BUCKET_NS);
+        assert_eq!(t.utilization_series().len(), 11);
+        assert_eq!(t.utilization_series()[10], 0);
+        // Earlier time: no shrink.
+        t.finish(0);
+        assert_eq!(t.utilization_series().len(), 11);
+        // No traffic at all: stays empty.
+        let mut idle = FabricTrace::new();
+        idle.finish(10 * BUCKET_NS);
+        assert!(idle.utilization_series().is_empty());
+        assert!(idle.burstiness().is_none());
     }
 }

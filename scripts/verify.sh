@@ -39,6 +39,27 @@ grep -q '"table2_bfs_nvlink"' "$tmp/sweep.json" || {
 echo "ok: sweep timing report written"
 
 echo
+echo "== observability smoke (--trace / --metrics artifacts) =="
+./target/release/table2_bfs_nvlink --quick --threads 1 \
+    --json "$tmp/sweep.json" \
+    --trace "$tmp/trace.json" --metrics "$tmp/metrics.json" \
+    > /dev/null 2> /dev/null
+python3 - "$tmp/trace.json" "$tmp/metrics.json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "trace has no events"
+names = {e.get("name") for e in events}
+assert "step" in names, f"no per-PE step spans in trace: {sorted(names)}"
+assert "msg" in names, "no message-arrival instants in trace"
+assert any(n.startswith("flush[") for n in names), "no aggregator flush spans"
+metrics = json.load(open(sys.argv[2]))
+for key in ("queue.cas_retries", "queue.occupancy_hwm", "run.elapsed_ns"):
+    assert key in metrics, f"metrics snapshot missing {key}"
+print(f"ok: trace has {len(events)} events, metrics has {len(metrics)} counters")
+EOF
+
+echo
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

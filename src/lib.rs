@@ -12,3 +12,4 @@ pub use atos_core as core;
 pub use atos_graph as graph;
 pub use atos_queue as queue;
 pub use atos_sim as sim;
+pub use atos_trace as trace;
