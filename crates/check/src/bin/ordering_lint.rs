@@ -1,0 +1,70 @@
+//! Atomic-ordering lint driver: scans the given files or directories
+//! (default: the queue and core crates) and exits nonzero on findings.
+//!
+//! Usage: `ordering_lint [path ...]` — see `scripts/lint_atomics.sh`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use atos_check::lint::lint_source;
+
+fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return;
+    }
+    let Ok(entries) = std::fs::read_dir(path) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    entries.sort();
+    for entry in entries {
+        if entry.file_name().is_some_and(|n| n == "target") {
+            continue;
+        }
+        collect_rs_files(&entry, out);
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        vec![
+            PathBuf::from("crates/queue/src"),
+            PathBuf::from("crates/core/src"),
+        ]
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let mut files = Vec::new();
+    for root in &roots {
+        if !root.exists() {
+            eprintln!("ordering_lint: path not found: {}", root.display());
+            return ExitCode::from(2);
+        }
+        collect_rs_files(root, &mut files);
+    }
+
+    let mut total = 0usize;
+    for file in &files {
+        let Ok(src) = std::fs::read_to_string(file) else {
+            eprintln!("ordering_lint: unreadable: {}", file.display());
+            return ExitCode::from(2);
+        };
+        for finding in lint_source(&file.display().to_string(), &src) {
+            println!("{finding}");
+            total += 1;
+        }
+    }
+
+    if total > 0 {
+        eprintln!("ordering_lint: {total} finding(s) in {} file(s) scanned", files.len());
+        ExitCode::FAILURE
+    } else {
+        println!("ordering_lint: clean ({} file(s) scanned)", files.len());
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,96 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Each model thread `t` owns component `t` of its clock; the component is
+//! incremented ("ticked") once per visible operation, so `(tid, epoch)`
+//! uniquely names an operation of an execution. Synchronization edges
+//! (release→acquire, spawn, join) are modeled by joining clocks.
+
+/// A vector clock over model-thread ids.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct VClock {
+    t: Vec<u32>,
+}
+
+impl VClock {
+    /// The empty clock (happens-before everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component for `tid` (0 if never set).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.t.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Set component `tid` to `v`.
+    pub fn set(&mut self, tid: usize, v: u32) {
+        if self.t.len() <= tid {
+            self.t.resize(tid + 1, 0);
+        }
+        self.t[tid] = v;
+    }
+
+    /// Increment component `tid`, returning the new epoch.
+    pub fn tick(&mut self, tid: usize) -> u32 {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+        v
+    }
+
+    /// Pointwise maximum (the happens-before join).
+    pub fn join(&mut self, other: &VClock) {
+        if self.t.len() < other.t.len() {
+            self.t.resize(other.t.len(), 0);
+        }
+        for (a, b) in self.t.iter_mut().zip(&other.t) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether this clock has seen operation `(tid, epoch)` — i.e. that
+    /// operation happened-before the holder's current point.
+    pub fn dominates(&self, tid: usize, epoch: u32) -> bool {
+        self.get(tid) >= epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(3), 0);
+        assert_eq!(c.tick(3), 1);
+        assert_eq!(c.tick(3), 2);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.set(0, 5);
+        a.set(2, 1);
+        let mut b = VClock::new();
+        b.set(0, 2);
+        b.set(1, 7);
+        a.join(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 7);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn dominates_tracks_epochs() {
+        let mut a = VClock::new();
+        a.set(1, 4);
+        assert!(a.dominates(1, 4));
+        assert!(a.dominates(1, 3));
+        assert!(!a.dominates(1, 5));
+        // Component 9 was never set: only epoch 0 (the "no-op") is dominated.
+        assert!(a.dominates(9, 0));
+        assert!(!a.dominates(9, 1));
+    }
+}

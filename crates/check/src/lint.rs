@@ -1,0 +1,274 @@
+//! Source-level atomic-ordering lint for the queue substrate.
+//!
+//! A deliberately simple, dependency-free line scanner (no rustc
+//! internals) encoding three project rules the model checker's findings
+//! distilled:
+//!
+//! 1. **`relaxed-publish`** — a `compare_exchange*` whose *success*
+//!    ordering is `Relaxed` appearing after an `UnsafeCell` slot write in
+//!    the same function: the CAS is publishing the write without a release
+//!    edge.
+//! 2. **`unreleased-write`** — an `UnsafeCell` slot write (`with_mut`)
+//!    with no release-or-stronger operation later in the same function:
+//!    nothing publishes the write.
+//! 3. **`missing-safety`** — an `unsafe` block or `unsafe impl` without a
+//!    `// SAFETY:` comment on the same or one of the eight preceding
+//!    lines (multi-line SAFETY comments are common above `unsafe impl`).
+//!
+//! Files carrying deliberately seeded bugs opt out with a
+//! `// lint:skip-file` marker in their first lines (the mutation twins used
+//! to validate the checker do this).
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// File the finding is in.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`relaxed-publish`, `unreleased-write`,
+    /// `missing-safety`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+fn is_release_line(line: &str) -> bool {
+    line.contains("Ordering::Release")
+        || line.contains("Ordering::AcqRel")
+        || line.contains("Ordering::SeqCst")
+}
+
+fn has_safety_comment(lines: &[&str], idx: usize) -> bool {
+    let lo = idx.saturating_sub(8);
+    lines[lo..=idx].iter().any(|l| l.contains("SAFETY:"))
+}
+
+/// The success ordering of a `compare_exchange*` call starting at
+/// `lines[idx]` (calls may be formatted across lines); `None` if no
+/// ordering token is found nearby.
+fn cas_success_ordering(lines: &[&str], idx: usize) -> Option<String> {
+    let hi = (idx + 6).min(lines.len());
+    let joined = lines[idx..hi].join(" ");
+    let call = joined.split("compare_exchange").nth(1)?;
+    let ord = call.split("Ordering::").nth(1)?;
+    let name: String = ord
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric())
+        .collect();
+    Some(name)
+}
+
+/// Scan one file's source. `file` is used only for reporting.
+pub fn lint_source(file: &str, src: &str) -> Vec<LintFinding> {
+    let lines: Vec<&str> = src.lines().collect();
+    if lines.iter().take(10).any(|l| l.contains("lint:skip-file")) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+
+    // Function segmentation by brace depth: a stack of (start depth,
+    // cell-write line, pending relaxed-publish candidates).
+    struct FnCtx {
+        depth: usize,
+        cell_write: Option<usize>,
+        released: bool,
+    }
+    let mut depth: usize = 0;
+    let mut fns: Vec<FnCtx> = Vec::new();
+
+    for (i, raw) in lines.iter().enumerate() {
+        let line_no = i + 1;
+        // Strip line comments so commented-out code can't trip rules.
+        let line = raw.split("//").next().unwrap_or("");
+
+        if (line.contains("fn ") || line.contains("fn(")) && line.contains('(') {
+            fns.push(FnCtx {
+                depth,
+                cell_write: None,
+                released: false,
+            });
+        }
+
+        if line.contains(".with_mut(") {
+            if let Some(f) = fns.last_mut() {
+                if f.cell_write.is_none() {
+                    f.cell_write = Some(line_no);
+                }
+                // A new write after a release op needs its own release.
+                if f.released && is_release_line(line) {
+                    // release on the same line covers it
+                } else if f.released {
+                    f.released = false;
+                    f.cell_write = Some(line_no);
+                }
+            }
+        }
+        if is_release_line(line) {
+            if let Some(f) = fns.last_mut() {
+                f.released = true;
+            }
+        }
+
+        if line.contains("compare_exchange") {
+            if let Some(ord) = cas_success_ordering(&lines, i) {
+                if ord == "Relaxed" {
+                    if let Some(f) = fns.last() {
+                        if let Some(w) = f.cell_write {
+                            if !f.released {
+                                findings.push(LintFinding {
+                                    file: file.to_string(),
+                                    line: line_no,
+                                    rule: "relaxed-publish",
+                                    message: format!(
+                                        "compare_exchange with Relaxed success ordering \
+                                         publishes the slot write at line {w} without a \
+                                         release edge"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if (line.contains("unsafe {")
+            || line.contains("unsafe impl")
+            || line.trim_start().starts_with("unsafe fn"))
+            && !has_safety_comment(&lines, i)
+        {
+            findings.push(LintFinding {
+                file: file.to_string(),
+                line: line_no,
+                rule: "missing-safety",
+                message: "unsafe code without a `// SAFETY:` comment on this or the \
+                          preceding lines"
+                    .to_string(),
+            });
+        }
+
+        // Track depth transitions and close functions.
+        for ch in line.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if let Some(f) = fns.last() {
+                        if depth <= f.depth {
+                            let f = fns.pop().expect("nonempty");
+                            if let Some(w) = f.cell_write {
+                                if !f.released {
+                                    findings.push(LintFinding {
+                                        file: file.to_string(),
+                                        line: w,
+                                        rule: "unreleased-write",
+                                        message: "UnsafeCell write is never followed by a \
+                                                  release operation in this function \
+                                                  (nothing publishes it)"
+                                            .to_string(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_publication_passes() {
+        let src = r#"
+fn push(&self) {
+    // SAFETY: slot is reserved; published by the AcqRel fetch_max below.
+    self.slots[i].with_mut(|p| unsafe { (*p).write(item) });
+    self.end.fetch_max(idx, Ordering::AcqRel);
+}
+"#;
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_publish_flagged() {
+        let src = r#"
+fn push(&self) {
+    self.slots[i].with_mut(|p| unsafe { (*p).write(item) });
+    let _ = self.end.compare_exchange(a, b, Ordering::Relaxed, Ordering::Relaxed);
+}
+"#;
+        let f = lint_source("x.rs", src);
+        assert!(f.iter().any(|f| f.rule == "relaxed-publish"), "{f:?}");
+    }
+
+    #[test]
+    fn relaxed_success_without_write_ok() {
+        let src = r#"
+fn pop(&self) {
+    let _ = self.start.compare_exchange(a, b, Ordering::Relaxed, Ordering::Relaxed);
+}
+"#;
+        let f = lint_source("x.rs", src);
+        assert!(f.iter().all(|f| f.rule != "relaxed-publish"), "{f:?}");
+    }
+
+    #[test]
+    fn multiline_cas_orderings_parsed() {
+        let src = r#"
+fn push(&self) {
+    self.slots[i].with_mut(|p| unsafe { (*p).write(item) });
+    let _ = self.end.compare_exchange(
+        a,
+        b,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    );
+}
+"#;
+        let f = lint_source("x.rs", src);
+        assert!(f.iter().any(|f| f.rule == "relaxed-publish"), "{f:?}");
+    }
+
+    #[test]
+    fn unreleased_write_flagged() {
+        let src = r#"
+fn stash(&self) {
+    self.slots[i].with_mut(|p| unsafe { (*p).write(item) });
+    self.count.fetch_add(1, Ordering::Relaxed);
+}
+"#;
+        let f = lint_source("x.rs", src);
+        assert!(f.iter().any(|f| f.rule == "unreleased-write"), "{f:?}");
+    }
+
+    #[test]
+    fn missing_safety_flagged_and_satisfied() {
+        let bad = "fn f() {\n    unsafe { core(); }\n}\n";
+        assert!(lint_source("x.rs", bad)
+            .iter()
+            .any(|f| f.rule == "missing-safety"));
+        let good = "fn f() {\n    // SAFETY: serialized by the scheduler.\n    unsafe { core(); }\n}\n";
+        assert!(lint_source("x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn skip_file_marker_respected() {
+        let src = "// lint:skip-file\nfn f() {\n    unsafe { core(); }\n}\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+}

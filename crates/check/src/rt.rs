@@ -1,0 +1,38 @@
+//! Thread-local link between an OS thread and the model execution it is
+//! running in. Shadow sync types look the context up on every operation;
+//! using them outside a model is a hard error.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::exec::Exec;
+
+/// The calling OS thread's place in a model execution.
+#[derive(Clone)]
+pub struct Ctx {
+    /// The execution engine.
+    pub exec: Arc<Exec>,
+    /// The caller's model thread id.
+    pub tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// The current model context, if this OS thread belongs to an execution.
+pub fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// The current model context, or a clear panic if used outside a model.
+pub fn require() -> Ctx {
+    current().expect(
+        "atos-check shadow sync type used outside a model execution \
+         (wrap the test body in atos_check::model! / Model::check)",
+    )
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}

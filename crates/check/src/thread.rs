@@ -1,0 +1,139 @@
+//! Shadow threading: model-scheduled `spawn`, `scope`, and `yield_now`.
+//!
+//! Spawned closures run on real OS threads, but every visible operation
+//! routes through the model scheduler, so only one thread makes progress at
+//! a time and spawn/join contribute happens-before edges.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use crate::exec::{run_thread, Exec};
+use crate::rt;
+
+/// Handle to a model thread spawned with [`spawn`].
+pub struct JoinHandle<T> {
+    exec: Arc<Exec>,
+    tid: usize,
+    inner: std::thread::JoinHandle<Option<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Model-level join: blocks (in model time) until the thread finishes,
+    /// acquiring its final clock, then reaps the OS thread.
+    pub fn join(self) -> std::thread::Result<T> {
+        let ctx = rt::require();
+        self.exec.join_thread(ctx.tid, self.tid);
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            // The closure failed; the execution is aborting and the waiter
+            // above has already unwound — this arm is unreachable in
+            // practice, but keep join total.
+            Ok(None) => Err(Box::new("model thread failed")),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Spawn a model thread (shadow of `std::thread::spawn`).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let ctx = rt::require();
+    let tid = ctx.exec.spawn_thread(ctx.tid);
+    let exec = Arc::clone(&ctx.exec);
+    let inner = std::thread::Builder::new()
+        .name(format!("atos-check-t{tid}"))
+        .spawn(move || run_thread(&exec, tid, f))
+        .expect("spawn model thread");
+    JoinHandle {
+        exec: ctx.exec,
+        tid,
+        inner,
+    }
+}
+
+/// Voluntary yield (shadow of `std::thread::yield_now`): deprioritizes the
+/// caller at the next schedule decision so quiescence spins make progress.
+pub fn yield_now() {
+    let ctx = rt::require();
+    ctx.exec.yield_point(ctx.tid);
+}
+
+/// Scope for spawning borrowing model threads (shadow of
+/// `std::thread::scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    exec: Arc<Exec>,
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    spawned: std::cell::RefCell<Vec<usize>>,
+    _env: PhantomData<&'env ()>,
+}
+
+/// Handle to a model thread spawned inside a [`scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    exec: Arc<Exec>,
+    tid: usize,
+    inner: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Model-level join (same contract as [`JoinHandle::join`]).
+    pub fn join(self) -> std::thread::Result<T> {
+        let ctx = rt::require();
+        self.exec.join_thread(ctx.tid, self.tid);
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(Box::new("model thread failed")),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a borrowing model thread.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let ctx = rt::require();
+        let tid = ctx.exec.spawn_thread(ctx.tid);
+        self.spawned.borrow_mut().push(tid);
+        let exec = Arc::clone(&ctx.exec);
+        let inner = self.std.spawn(move || run_thread(&exec, tid, f));
+        ScopedJoinHandle {
+            exec: Arc::clone(&ctx.exec),
+            tid,
+            inner,
+        }
+    }
+}
+
+/// Run `f` with a scope; all threads it spawned are model-joined before
+/// `scope` returns (explicitly joined ones are joined again, which is a
+/// harmless clock join on a finished thread).
+///
+/// Unlike std, the closure takes `&Scope<'scope, 'env>` with the reference
+/// lifetime independent of `'scope` — strictly more permissive at call
+/// sites, so facade users can switch between the two implementations.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    let ctx = rt::require();
+    std::thread::scope(|s| {
+        let scope = Scope {
+            exec: Arc::clone(&ctx.exec),
+            std: s,
+            spawned: std::cell::RefCell::new(Vec::new()),
+            _env: PhantomData,
+        };
+        let r = f(&scope);
+        let tids = scope.spawned.borrow().clone();
+        for tid in tids {
+            scope.exec.join_thread(ctx.tid, tid);
+        }
+        r
+    })
+}

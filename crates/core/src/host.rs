@@ -21,10 +21,13 @@
 //!   retires, so the counter can only reach zero when no task exists
 //!   anywhere — queues, claims, or in flight.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use atos_queue::counter::CounterQueue;
+// The sync facade makes this whole backend model-checkable: under
+// `--cfg atos_check` every atomic, thread spawn, and yield below runs on
+// the atos-check shadow runtime instead of std (see `atos_queue::sync`).
+use atos_queue::sync::{thread, AtomicI64, AtomicU64, Ordering};
 use atos_queue::{ContentionSnapshot, PopState};
 
 /// An application executable by the host backend. State is shared across
@@ -119,7 +122,7 @@ pub fn run_host<A: HostApplication>(
     }
 
     let start = Instant::now();
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         for pe in 0..cfg.n_pes {
             for _ in 0..cfg.workers_per_pe {
                 let queues = &queues;
@@ -153,7 +156,7 @@ pub fn run_host<A: HostApplication>(
                                 local_state.abandon();
                                 break;
                             }
-                            std::thread::yield_now();
+                            thread::yield_now();
                             continue;
                         }
                         tasks_ctr.fetch_add(got as u64, Ordering::Relaxed);

@@ -41,6 +41,7 @@
 //! concurrent one-sided pushes and quiescence-based termination.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod aggregator;
 pub mod app;

@@ -12,11 +12,10 @@
 //! 2. discovering `k` new items costs `k` flag loads spread over `k` cache
 //!    lines, where the counter queue needs a single `end` broadcast.
 
-use core::cell::UnsafeCell;
 use core::mem::MaybeUninit;
-use core::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use crate::padded::Padded;
+use crate::sync::{hint, AtomicU32, AtomicU64, Ordering, UnsafeCell};
 use crate::{ConcurrentQueue, PopState, QueueFull};
 
 const EMPTY: u32 = 0;
@@ -63,10 +62,11 @@ impl<T: Copy + Send> BrokerQueue<T> {
                 capacity: self.slots.len(),
             });
         }
-        // SAFETY: `idx` is exclusively ours until the flag flips to READY.
-        unsafe {
-            (*self.slots[idx as usize].get()).write(item);
-        }
+        // SAFETY: `idx` is exclusively ours (monotone `tail.fetch_add`)
+        // until the Release flag store below publishes it; a popper reads
+        // the slot only after an Acquire load observes READY
+        // (checker-verified edge).
+        self.slots[idx as usize].with_mut(|p| unsafe { (*p).write(item) });
         self.flags[idx as usize].store(READY, Ordering::Release);
         Ok(())
     }
@@ -98,11 +98,12 @@ impl<T: Copy + Send> BrokerQueue<T> {
             // The producer reserved before we saw tail > h, so READY arrives
             // after a bounded number of its instructions.
             while self.flags[idx].load(Ordering::Acquire) != READY {
-                std::hint::spin_loop();
+                hint::spin_loop();
             }
-            // SAFETY: READY observed with Acquire; slot fully written; head
-            // CAS gave us exclusive claim.
-            let v = unsafe { (*self.slots[idx].get()).assume_init() };
+            // SAFETY: the Acquire flag load observed the producer's Release
+            // READY store, so the slot write happens-before this read; the
+            // head CAS gave us the exclusive claim (checker-verified edge).
+            let v = self.slots[idx].with(|p| unsafe { (*p).assume_init() });
             return Some(v);
         }
     }

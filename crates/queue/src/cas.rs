@@ -11,11 +11,10 @@
 //! the group-leader ("warp intrinsic") optimization: one CAS loop per group,
 //! not per item, so the measured gap is add-vs-CAS, not grouping.
 
-use core::cell::UnsafeCell;
 use core::mem::MaybeUninit;
-use core::sync::atomic::{AtomicU64, Ordering};
 
 use crate::padded::Padded;
+use crate::sync::{AtomicU64, Ordering, UnsafeCell};
 use crate::stats::{self, ContentionCounters, ContentionSnapshot};
 use crate::{ConcurrentQueue, PopState, QueueFull};
 
@@ -89,10 +88,11 @@ impl<T: Copy + Send> CasQueue<T> {
             }
         }
         for (i, &item) in items.iter().enumerate() {
-            // SAFETY: `[idx, idx+n)` exclusively reserved, below capacity.
-            unsafe {
-                (*self.slots[(idx + i as u64) as usize].get()).write(item);
-            }
+            // SAFETY: `[idx, idx+n)` exclusively reserved (successful CAS on
+            // the monotone `end_alloc`), below capacity; published to
+            // readers only through the AcqRel CAS chain on
+            // `end_max`/`end_count`/`end` below (checker-verified edge).
+            self.slots[(idx + i as u64) as usize].with_mut(|p| unsafe { (*p).write(item) });
         }
         // Publication protocol shared with CounterQueue; end_max/end_count
         // also via CAS loops to keep the design pure.
@@ -143,9 +143,14 @@ impl<T: Copy + Send> CasQueue<T> {
             }
         }
         self.counters.add_cas_retries(retries);
-        let e = self.end.load(Ordering::Relaxed);
-        let s = self.start.load(Ordering::Relaxed);
-        self.counters.raise_occupancy(e.saturating_sub(s));
+        // Observability only; compiled out under the model checker (no
+        // synchronization role, would only multiply the state space).
+        #[cfg(not(atos_check))]
+        {
+            let e = self.end.load(Ordering::Relaxed);
+            let s = self.start.load(Ordering::Relaxed);
+            self.counters.raise_occupancy(e.saturating_sub(s));
+        }
         Ok(())
     }
 
@@ -172,6 +177,17 @@ impl<T: Copy + Send> CasQueue<T> {
                 return 0;
             }
             let take = (max as u64).min(e - s);
+            // The *success* ordering here is deliberately Relaxed: `start`
+            // guards no data, only claim disjointness, which the CAS gives
+            // under any ordering (each value of `start` is won by exactly
+            // one popper). The happens-before edge that makes the slot
+            // reads below safe is the Acquire load of `end` above, which
+            // synchronizes with the publisher's AcqRel advance of `end` —
+            // `start` needs no release chain of its own because arena slots
+            // are never reused, so no information ever flows back from
+            // poppers to pushers through `start`. Model-checked by the
+            // `cas_pop_reservation_relaxed_is_sound` suite; weakening the
+            // `end` load instead is mutation 3, which the checker rejects.
             if self
                 .start
                 .compare_exchange_weak(s, s + take, Ordering::Relaxed, Ordering::Relaxed)
@@ -181,9 +197,12 @@ impl<T: Copy + Send> CasQueue<T> {
                 continue;
             }
             for i in 0..take {
-                // SAFETY: `[s, s+take)` < end (published) and exclusively
-                // claimed by the successful CAS.
-                let v = unsafe { (*self.slots[(s + i) as usize].get()).assume_init() };
+                // SAFETY: `[s, s+take)` < `e`, and the Acquire load of `end`
+                // above synchronizes with the publishing AcqRel CAS on
+                // `end`, ordering the slot writes before these reads; the
+                // range is exclusively claimed by the successful CAS on
+                // `start` (checker-verified edge).
+                let v = self.slots[(s + i) as usize].with(|p| unsafe { (*p).assume_init() });
                 out.push(v);
             }
             self.counters.add_cas_retries(retries);

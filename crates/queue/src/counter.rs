@@ -49,11 +49,10 @@
 //! when `end` has reached its final value and unfilled claims provably refer
 //! to indices that were never pushed.
 
-use core::cell::UnsafeCell;
 use core::mem::MaybeUninit;
-use core::sync::atomic::{AtomicU64, Ordering};
 
 use crate::padded::Padded;
+use crate::sync::{AtomicU64, Ordering, UnsafeCell};
 use crate::stats::{self, ContentionCounters, ContentionSnapshot};
 use crate::{ConcurrentQueue, PopState, QueueFull};
 
@@ -127,11 +126,11 @@ impl<T: Copy + Send> CounterQueue<T> {
         // Lane writes into the privately reserved range.
         for (i, &item) in items.iter().enumerate() {
             // SAFETY: `[idx, idx+n)` is exclusively ours (disjoint
-            // reservations) and below capacity; no reader sees it until the
-            // publication below.
-            unsafe {
-                (*self.slots[(idx + i as u64) as usize].get()).write(item);
-            }
+            // reservations off the monotone `end_alloc`) and below capacity;
+            // no reader sees the slot until this write is sequenced before
+            // the AcqRel `fetch_max`/`fetch_add` publication chain below and
+            // a popper Acquire-loads `end` (checker-verified edge).
+            self.slots[(idx + i as u64) as usize].with_mut(|p| unsafe { (*p).write(item) });
         }
         // Completion bookkeeping. The Release in these RMWs orders the slot
         // writes before publication; poppers Acquire `end`.
@@ -142,10 +141,15 @@ impl<T: Copy + Send> CounterQueue<T> {
             self.end.fetch_max(m, Ordering::AcqRel);
         }
         // Observability only (off the counter-protocol cache lines): how
-        // full did the queue get after this push.
-        let e = self.end.load(Ordering::Relaxed);
-        let s = self.start.load(Ordering::Relaxed);
-        self.counters.raise_occupancy(e.saturating_sub(s));
+        // full did the queue get after this push. Compiled out under the
+        // model checker — these loads carry no synchronization and would
+        // only multiply the explored state space.
+        #[cfg(not(atos_check))]
+        {
+            let e = self.end.load(Ordering::Relaxed);
+            let s = self.start.load(Ordering::Relaxed);
+            self.counters.raise_occupancy(e.saturating_sub(s));
+        }
         Ok(())
     }
 
@@ -212,10 +216,13 @@ impl<T: Copy + Send> CounterQueue<T> {
         let hi = state.claim_hi.min(e);
         let take = (hi.saturating_sub(state.cursor)).min(max as u64);
         for i in 0..take {
-            // SAFETY: `cursor + i < end`, so the slot is published (fully
-            // written, Release/Acquire ordered), and the claim range is
-            // exclusively ours.
-            let v = unsafe { (*self.slots[(state.cursor + i) as usize].get()).assume_init() };
+            // SAFETY: `cursor + i < end`, and the Acquire load of `end`
+            // above synchronizes with the publisher's AcqRel `fetch_max` on
+            // `end`, which in turn is ordered after the AcqRel completion
+            // RMWs and the slot writes — so the slot is fully written and
+            // visible. The claim range `[claim_lo, claim_hi)` is exclusively
+            // ours by monotonicity of `start.fetch_add` (checker-verified).
+            let v = self.slots[(state.cursor + i) as usize].with(|p| unsafe { (*p).assume_init() });
             out.push(v);
         }
         state.cursor += take;

@@ -45,13 +45,17 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod bench_harness;
 pub mod broker;
 pub mod cas;
 pub mod counter;
+#[cfg(atos_check)]
+pub mod mutations;
 pub mod padded;
 pub mod stats;
+pub mod sync;
 
 pub use stats::ContentionSnapshot;
 

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Source-level atomic-ordering lint for the lock-free queue substrate.
+#
+# Runs the atos-check ordering_lint binary over the protocol sources
+# (crates/queue/src and crates/core/src by default; pass paths to override).
+# Rules (see crates/check/src/lint.rs):
+#   relaxed-publish   compare_exchange with Relaxed success ordering after
+#                     an UnsafeCell slot write in the same function
+#   unreleased-write  UnsafeCell write never followed by a release op
+#   missing-safety    unsafe block/impl/fn without a `// SAFETY:` comment
+#
+# Exit status: 0 clean, 1 findings, 2 usage error.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run -q -p atos-check --bin ordering_lint -- "$@"

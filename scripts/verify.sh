@@ -60,6 +60,17 @@ print(f"ok: trace has {len(events)} events, metrics has {len(metrics)} counters"
 EOF
 
 echo
+echo "== atomic-ordering lint (scripts/lint_atomics.sh) =="
+scripts/lint_atomics.sh
+
+echo
+echo "== model checker: queue suites under --cfg atos_check =="
+# Separate target dir: the cfg changes atos-queue/atos-core codegen, and
+# sharing ./target would thrash the production build cache.
+RUSTFLAGS="--cfg atos_check" CARGO_TARGET_DIR=target/check \
+    cargo test -p atos-check -q
+
+echo
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
