@@ -1,0 +1,19 @@
+#![cfg(atos_check)]
+
+use std::sync::Arc;
+
+use atos_check::sync::{AtomicU64, Ordering};
+use atos_check::{thread, Model};
+
+#[test]
+fn abort_with_never_scheduled_thread_terminates() {
+    let out = Model::new().check(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let a2 = Arc::clone(&a);
+        let _t = thread::spawn(move || {
+            a2.store(1, Ordering::Relaxed);
+        });
+        panic!("boom before the child ever runs");
+    });
+    assert!(out.failure().is_some());
+}
