@@ -8,8 +8,9 @@
 //! that the paper's execution model is implementable with the `atos-queue`
 //! data structure semantics.
 
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+
+use atos_queue::sync::{AtomicU32, Ordering};
 
 use atos_core::host::{run_host, HostApplication, HostConfig, HostStats};
 use atos_graph::csr::{Csr, VertexId};

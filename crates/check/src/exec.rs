@@ -582,13 +582,20 @@ pub fn run_thread<T>(exec: &Arc<Exec>, tid: usize, body: impl FnOnce() -> T) -> 
         exec: Arc::clone(exec),
         tid,
     }));
-    exec.wait_for_turn(tid);
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+    // Everything that can raise `AbortExecution` must run inside the
+    // catch: the initial `wait_for_turn` aborts when the execution dies
+    // before this thread is ever scheduled, and `thread_finished` aborts
+    // on a deadlock-at-finish verdict. If either escaped, `exit_thread`
+    // would be skipped and `wait_all_exited` would hang on the leaked
+    // `active` count.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        exec.wait_for_turn(tid);
+        let v = body();
+        exec.thread_finished(tid);
+        v
+    }));
     let out = match result {
-        Ok(v) => {
-            exec.thread_finished(tid);
-            Some(v)
-        }
+        Ok(v) => Some(v),
         Err(payload) => {
             if !payload.is::<AbortExecution>() {
                 exec.fail_from_panic(tid, payload.as_ref());

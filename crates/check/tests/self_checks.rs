@@ -295,3 +295,19 @@ fn exploration_is_deterministic() {
     assert_eq!(a, b);
     assert!(a >= 2, "must explore both orders, got {a}");
 }
+
+/// Regression: a test-body panic (an abort event) while a spawned thread
+/// exists that was never scheduled must still terminate exploration and
+/// report the failure — not hang trying to schedule the orphan.
+#[test]
+fn abort_with_never_scheduled_thread_terminates() {
+    let out = Model::new().check(|| {
+        let a = Arc::new(AtomicU64::new(0));
+        let a2 = Arc::clone(&a);
+        let _t = atos_check::thread::spawn(move || {
+            a2.store(1, Ordering::Relaxed);
+        });
+        panic!("boom before the child ever runs");
+    });
+    assert!(out.failure().is_some());
+}

@@ -186,7 +186,7 @@ impl DistributedQueues {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use atos_queue::sync::{AtomicU64, Ordering};
 
     #[test]
     fn listing4_shaped_bfs_runs() {

@@ -94,6 +94,79 @@ struct PeQueues<T> {
     recv: CounterQueue<T>,
 }
 
+/// Everything a worker thread needs, shared by reference.
+struct WorkerCtx<'a, A: HostApplication> {
+    app: &'a A,
+    queues: &'a [PeQueues<A::Task>],
+    outstanding: &'a AtomicI64,
+    remote_pushes: &'a AtomicU64,
+    cfg: HostConfig,
+}
+
+/// Outlined cold failure path for arena exhaustion. Keeps the worker loop
+/// itself free of panic machinery (`panic-in-kernel` lint): the only call
+/// site is a taken `Err` branch, so the unwind path costs nothing on the
+/// hot path and the sizing guidance lives in one place.
+#[cold]
+#[inline(never)]
+fn arena_exhausted() -> ! {
+    panic!("queue arena exhausted: raise HostConfig::queue_capacity to the workload's total push bound");
+}
+
+/// One worker thread: `pop → process → push` to global quiescence
+/// (paper Listing 3). This function is queue-protocol code — covered by
+/// the `panic-in-kernel` lint, so failure paths are outlined or handled.
+fn worker<A: HostApplication>(ctx: &WorkerCtx<'_, A>, pe: usize, tasks_ctr: &AtomicU64) {
+    let mut recv_state = PopState::new();
+    let mut local_state = PopState::new();
+    // One-time per-thread setup; the loop below never allocates.
+    let mut batch: Vec<A::Task> = Vec::with_capacity(ctx.cfg.fetch);
+    loop {
+        batch.clear();
+        // Receive queue first (drain remote work eagerly, as the paper's
+        // launch* pop loops do), then local.
+        let mut got = ctx.queues[pe]
+            .recv
+            .pop_group(&mut recv_state, ctx.cfg.fetch, &mut batch);
+        if got < ctx.cfg.fetch {
+            got += ctx.queues[pe]
+                .local
+                .pop_group(&mut local_state, ctx.cfg.fetch - got, &mut batch);
+        }
+        if got == 0 {
+            if ctx.outstanding.load(Ordering::Acquire) == 0 {
+                // Global quiescence: no task exists in any queue, claim,
+                // or worker. Outstanding claims can never fill again —
+                // safe to abandon.
+                recv_state.abandon();
+                local_state.abandon();
+                break;
+            }
+            thread::yield_now();
+            continue;
+        }
+        tasks_ctr.fetch_add(got as u64, Ordering::Relaxed);
+        for &task in &batch[..got] {
+            let mut push = |dst: usize, t: A::Task| {
+                // Register the child before the parent retires (see
+                // module docs).
+                ctx.outstanding.fetch_add(1, Ordering::Release);
+                let q = if dst == pe {
+                    &ctx.queues[pe].local
+                } else {
+                    ctx.remote_pushes.fetch_add(1, Ordering::Relaxed);
+                    &ctx.queues[dst].recv
+                };
+                if q.push(t).is_err() {
+                    arena_exhausted();
+                }
+            };
+            ctx.app.process(pe, task, &mut push);
+            ctx.outstanding.fetch_sub(1, Ordering::Release);
+        }
+    }
+}
+
 /// Execute `app` to global quiescence. `seeds[pe]` are the initial tasks
 /// of each PE. Panics if a queue's arena capacity is exceeded (size
 /// `queue_capacity` to the workload, as the paper sizes `local_cap`).
@@ -122,64 +195,18 @@ pub fn run_host<A: HostApplication>(
     }
 
     let start = Instant::now();
+    let ctx = WorkerCtx {
+        app,
+        queues: &queues,
+        outstanding: &outstanding,
+        remote_pushes: &remote_pushes,
+        cfg,
+    };
     thread::scope(|s| {
-        for pe in 0..cfg.n_pes {
+        for (pe, tasks_ctr) in tasks_per_pe.iter().enumerate().take(cfg.n_pes) {
             for _ in 0..cfg.workers_per_pe {
-                let queues = &queues;
-                let outstanding = &outstanding;
-                let remote_pushes = &remote_pushes;
-                let tasks_ctr = &tasks_per_pe[pe];
-                s.spawn(move || {
-                    let mut recv_state = PopState::new();
-                    let mut local_state = PopState::new();
-                    let mut batch: Vec<A::Task> = Vec::with_capacity(cfg.fetch);
-                    loop {
-                        batch.clear();
-                        // Receive queue first (drain remote work eagerly,
-                        // as the paper's launch* pop loops do), then local.
-                        let mut got =
-                            queues[pe].recv.pop_group(&mut recv_state, cfg.fetch, &mut batch);
-                        if got < cfg.fetch {
-                            got += queues[pe].local.pop_group(
-                                &mut local_state,
-                                cfg.fetch - got,
-                                &mut batch,
-                            );
-                        }
-                        if got == 0 {
-                            if outstanding.load(Ordering::Acquire) == 0 {
-                                // Global quiescence: no task exists in any
-                                // queue, claim, or worker. Outstanding
-                                // claims can never fill again — safe to
-                                // abandon.
-                                recv_state.abandon();
-                                local_state.abandon();
-                                break;
-                            }
-                            thread::yield_now();
-                            continue;
-                        }
-                        tasks_ctr.fetch_add(got as u64, Ordering::Relaxed);
-                        for &task in &batch[..got] {
-                            let mut push = |dst: usize, t: A::Task| {
-                                // Register the child before the parent
-                                // retires (see module docs).
-                                outstanding.fetch_add(1, Ordering::Release);
-                                let q = if dst == pe {
-                                    &queues[pe].local
-                                } else {
-                                    remote_pushes.fetch_add(1, Ordering::Relaxed);
-                                    &queues[dst].recv
-                                };
-                                q.push(t).expect(
-                                    "queue arena exhausted: raise HostConfig::queue_capacity",
-                                );
-                            };
-                            app.process(pe, task, &mut push);
-                            outstanding.fetch_sub(1, Ordering::Release);
-                        }
-                    }
-                });
+                let ctx = &ctx;
+                s.spawn(move || worker(ctx, pe, tasks_ctr));
             }
         }
     });
@@ -202,7 +229,7 @@ pub fn run_host<A: HostApplication>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU32;
+    use atos_queue::sync::AtomicU32;
 
     /// Counting relay: task = remaining hops; hops move round-robin
     /// across PEs, counting total visits.

@@ -36,6 +36,8 @@ use crate::emitter::Emitter;
 use crate::metrics::RunStats;
 use crate::workqueue::WorkQueue;
 
+use atos_macros::atos_hot;
+
 /// Delay between a remote arrival and an idle persistent worker noticing
 /// it (one poll of the receive queue's `end` counter).
 const WAKE_POLL_NS: Time = 400;
@@ -247,6 +249,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
 
     /// Track the worklist occupancy high-water mark after a push burst.
     #[inline]
+    #[atos_hot]
     fn note_queue_depth(&mut self, pe: usize) {
         let len = self.pes[pe].queue.len() as u64;
         if len > self.stats.queue_hwm_per_pe[pe] {
@@ -295,6 +298,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
         &self.fabric
     }
 
+    #[atos_hot]
     fn wake(&mut self, pe: usize, delay: Time) {
         if !self.pes[pe].step_scheduled && !self.pes[pe].queue.is_empty() {
             self.pes[pe].step_scheduled = true;
@@ -303,6 +307,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
         }
     }
 
+    #[atos_hot]
     fn step(&mut self, pe: usize) {
         self.pes[pe].step_scheduled = false;
         // Persistent workers pop in fetch-sized rounds; a discrete kernel
@@ -395,6 +400,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
         }
     }
 
+    #[atos_hot]
     fn absorb_local(&mut self, pe: usize, em: &mut Emitter<A::Task>) {
         for t in em.local.drain(..) {
             let prio = self.app.priority(&t);
@@ -406,6 +412,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
     /// Route remote emissions: group per destination and either send
     /// directly (fine-grained, spread across the step for in-kernel
     /// overlap) or accumulate in the aggregator.
+    #[atos_hot]
     fn dispatch_remote(
         &mut self,
         src: usize,
@@ -526,6 +533,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
     /// Flush one aggregator bundle into a pooled payload and stage its
     /// arrival. `batch_bytes` is the size trigger, used to classify the
     /// flush (a bundle at or above it flushed on size, otherwise on age).
+    #[atos_hot]
     fn flush_bundle(&mut self, at: Time, src: usize, dst: usize, task_bytes: u64, batch_bytes: u64) {
         let by_size = self.pes[src].agg[dst].bytes() >= batch_bytes;
         let opened = self.pes[src].agg[dst].opened_at().unwrap_or(at);
@@ -557,6 +565,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
 
     /// One message on the wire: charge control path + fabric, record stats,
     /// and return the arrival time. The caller stages the `Arrive` event.
+    #[atos_hot]
     fn route(&mut self, at: Time, src: usize, dst: usize, n_tasks: usize, task_bytes: u64) -> Time {
         let payload = n_tasks as u64 * task_bytes;
         let arrival = self.fabric.transfer(
@@ -595,6 +604,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
         arrival
     }
 
+    #[atos_hot]
     fn arrive(&mut self, dst: usize, mut tasks: Vec<A::Task>) {
         let mut enqueued = false;
         for t in tasks.drain(..) {
@@ -628,6 +638,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
         }
     }
 
+    #[atos_hot]
     fn schedule_agg_poll(&mut self, pe: usize) {
         if self.pes[pe].agg_poll_scheduled {
             return;
@@ -647,6 +658,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
         }
     }
 
+    #[atos_hot]
     fn agg_poll(&mut self, pe: usize) {
         self.pes[pe].agg_poll_scheduled = false;
         let (batch_bytes, wait_time) = match self.cfg.comm {

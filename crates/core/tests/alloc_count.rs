@@ -9,6 +9,9 @@
 //! constant allocation budget (warm-up growth of queues, heap, and pool).
 
 use std::alloc::{GlobalAlloc, Layout, System};
+// atos-lint: allow(facade_bypass) — the counting allocator is a measurement
+// instrument; routing its counter through the facade would make the
+// instrument depend on the machinery it is measuring around.
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use atos_core::{Application, AtosConfig, CommMode, Emitter, NullTracer, Runtime, RuntimeTuning};
@@ -19,18 +22,26 @@ struct CountingAlloc;
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to the System allocator; the only addition is
+// a Relaxed counter bump, which does not allocate or touch the layouts.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's contract; delegated unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same contract, same layout, delegated to System.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; delegated unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from this allocator (System underneath).
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds GlobalAlloc's contract; delegated unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr` came from this allocator; layout/new_size forwarded.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -139,5 +150,59 @@ fn steady_state_send_paths_do_not_allocate_per_task() {
     assert!(
         during < 2_000,
         "NullTracer: {during} allocations for {HOPS} messages (disabled tracing must not allocate)"
+    );
+}
+
+/// Every `#[atos_hot]` function in the runtime must be exercised by one of
+/// the counted scenarios in this file, so the allocation budget actually
+/// covers the whole annotated hot path (`atos-lint` checks the annotated
+/// functions statically; this test keeps the dynamic guard aligned).
+/// Annotating a new runtime function fails this test until a counted
+/// scenario exercises it and the map below records which one.
+#[test]
+fn every_hot_runtime_fn_is_covered_by_a_counted_scenario() {
+    const COVERED: &[(&str, &str)] = &[
+        ("note_queue_depth", "both relays: depth accounting on every push/pop"),
+        ("wake", "both relays: remote arrivals wake the idle peer PE"),
+        ("step", "both relays: every scheduling step"),
+        ("absorb_local", "both relays: emitter drain after each step"),
+        ("dispatch_remote", "both relays: every hop is a remote push"),
+        ("flush_bundle", "aggregated relay: age trigger flushes each bundle"),
+        ("route", "both relays: fabric routing for every message"),
+        ("arrive", "both relays: message delivery at the destination PE"),
+        ("schedule_agg_poll", "aggregated relay: poll armed per open bundle"),
+        ("agg_poll", "aggregated relay: age-trigger poll per bundle"),
+    ];
+
+    let src = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/runtime.rs"),
+    )
+    .expect("read runtime.rs");
+    let mut hot: Vec<String> = Vec::new();
+    let mut pending_hot = false;
+    for line in src.lines() {
+        let t = line.trim();
+        if t == "#[atos_hot]" {
+            pending_hot = true;
+            continue;
+        }
+        if t.starts_with("#[") || t.starts_with("//") {
+            continue;
+        }
+        if pending_hot {
+            let rest = t.strip_prefix("pub ").unwrap_or(t);
+            if let Some(name) = rest.strip_prefix("fn ") {
+                hot.push(name.split(['(', '<']).next().unwrap().to_string());
+            }
+            pending_hot = false;
+        }
+    }
+    hot.sort();
+    let mut covered: Vec<&str> = COVERED.iter().map(|(n, _)| *n).collect();
+    covered.sort();
+    assert_eq!(
+        hot, covered,
+        "the #[atos_hot] set in runtime.rs and the counted-scenario map in \
+         this test must stay in sync"
     );
 }

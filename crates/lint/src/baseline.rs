@@ -1,0 +1,48 @@
+//! Committed-baseline support for `--deny-new`.
+//!
+//! The baseline is a plain text file, one [`crate::Finding::key`] per
+//! line (`rule<TAB>file<TAB>message` — no line numbers, so edits above a
+//! baselined finding don't resurface it). The project's committed
+//! baseline (`.atos-lint-baseline` at the workspace root) is empty: this
+//! PR fixed every finding, and `--deny-new` in `scripts/verify.sh` keeps
+//! it that way. The mechanism exists so a future PR that *must* land
+//! with a known finding can ratchet instead of suppressing.
+
+use crate::Finding;
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Load a baseline file; a missing file is an empty baseline.
+pub fn load(path: &Path) -> io::Result<BTreeSet<String>> {
+    match fs::read_to_string(path) {
+        Ok(s) => Ok(s
+            .lines()
+            .map(str::trim_end)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(String::from)
+            .collect()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(BTreeSet::new()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Write `findings` as a baseline file.
+pub fn write(path: &Path, findings: &[Finding]) -> io::Result<()> {
+    let mut body = String::from(
+        "# atos-lint baseline: one `rule<TAB>file<TAB>message` per line.\n\
+         # Findings listed here are tolerated by --deny-new; keep this empty.\n",
+    );
+    let keys: BTreeSet<String> = findings.iter().map(Finding::key).collect();
+    for k in keys {
+        body.push_str(&k);
+        body.push('\n');
+    }
+    fs::write(path, body)
+}
+
+/// The findings not covered by the baseline.
+pub fn new_findings<'a>(findings: &'a [Finding], base: &BTreeSet<String>) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| !base.contains(&f.key())).collect()
+}

@@ -1,0 +1,196 @@
+//! Project configuration for the lint pass.
+//!
+//! The configuration is code, not a config file: the invariants it encodes
+//! (which files may touch raw atomics, which functions are queue-protocol
+//! kernel code, which crate must stay deterministic) are architectural
+//! facts of this workspace, and changing them should be a reviewed source
+//! change next to the policy documentation in DESIGN.md §7 — not an edit
+//! to an untracked dotfile.
+
+/// A panic-sensitivity scope: one source file plus the protocol functions
+/// inside it that must not contain panicking constructs.
+#[derive(Debug, Clone)]
+pub struct KernelScope {
+    /// Path suffix identifying the file (always `/`-separated).
+    pub file_suffix: &'static str,
+    /// Function names inside that file covered by `panic-in-kernel`.
+    pub fns: &'static [&'static str],
+    /// Whether panicking slice indexing (`ident[i]`) is also forbidden in
+    /// those functions. Enabled only for the lock-free queue protocol
+    /// files, where a bounds panic mid-protocol would strand a published
+    /// reservation; the simulator runtime indexes its own dense PE arrays
+    /// pervasively and is covered by the `unwrap`/`expect`/`panic!` rules
+    /// only.
+    pub forbid_index: bool,
+}
+
+/// A function treated as `#[atos_hot]` without carrying the attribute
+/// (used for crates that must stay dependency-free, like `atos-queue`,
+/// which cannot depend on the proc-macro crate).
+#[derive(Debug, Clone)]
+pub struct HotDenyEntry {
+    /// Path suffix identifying the file.
+    pub file_suffix: &'static str,
+    /// Function names in that file on the hot path.
+    pub fns: &'static [&'static str],
+}
+
+/// Full lint configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Path fragments of files allowed to import `std::sync::atomic` /
+    /// `std::cell::UnsafeCell` directly (the facade itself, the model
+    /// checker that shadows it, and the vendored dependency shims).
+    pub facade_allowed: &'static [&'static str],
+    /// Path fragments of files excluded from the ordering-dataflow rules
+    /// (`relaxed-publish`, `unreleased-write`, `acquire-pairing`). The
+    /// model-checker crate deliberately constructs broken protocols as
+    /// negative self-tests.
+    pub ordering_exempt: &'static [&'static str],
+    /// Extra hot-path functions beyond `#[atos_hot]` annotations.
+    pub hot_denylist: &'static [HotDenyEntry],
+    /// Panic-sensitivity scopes.
+    pub kernel_scopes: &'static [KernelScope],
+    /// Path fragments of files covered by `sim-determinism`.
+    pub sim_paths: &'static [&'static str],
+    /// Identifiers forbidden in deterministic-simulation code.
+    pub sim_forbidden: &'static [&'static str],
+}
+
+impl Config {
+    /// The workspace's production configuration.
+    pub fn project() -> Config {
+        Config {
+            facade_allowed: &[
+                // The facade itself.
+                "crates/queue/src/sync.rs",
+                // The model checker: shadows the facade's types and needs
+                // raw atomics for its own scheduler bookkeeping.
+                "crates/check/",
+                // Vendored dependency shims (outside the runtime proper).
+                "crates/rand-shim/",
+                "crates/proptest-shim/",
+                "crates/criterion-shim/",
+            ],
+            ordering_exempt: &[
+                // atos-check models *broken* protocols on purpose
+                // (negative self-tests for the race detector).
+                "crates/check/",
+            ],
+            hot_denylist: &[
+                HotDenyEntry {
+                    file_suffix: "crates/queue/src/counter.rs",
+                    fns: &["push_group", "pop_group", "drain_claim", "push"],
+                },
+                HotDenyEntry {
+                    file_suffix: "crates/queue/src/cas.rs",
+                    fns: &["push_group", "pop_group", "push"],
+                },
+                HotDenyEntry {
+                    file_suffix: "crates/queue/src/broker.rs",
+                    fns: &["push", "pop"],
+                },
+            ],
+            kernel_scopes: &[
+                KernelScope {
+                    file_suffix: "crates/queue/src/counter.rs",
+                    fns: &["push_group", "pop_group", "drain_claim", "push"],
+                    forbid_index: true,
+                },
+                KernelScope {
+                    file_suffix: "crates/queue/src/cas.rs",
+                    fns: &["push_group", "pop_group", "push"],
+                    forbid_index: true,
+                },
+                KernelScope {
+                    file_suffix: "crates/queue/src/broker.rs",
+                    fns: &["push", "pop"],
+                    forbid_index: true,
+                },
+                KernelScope {
+                    file_suffix: "crates/core/src/runtime.rs",
+                    fns: &[
+                        "step",
+                        "absorb_local",
+                        "dispatch_remote",
+                        "flush_bundle",
+                        "route",
+                        "arrive",
+                    ],
+                    forbid_index: false,
+                },
+                KernelScope {
+                    // `run_host` itself is setup/teardown (its seed-phase
+                    // asserts are documented API panics before any thread
+                    // exists); the protocol loop is the extracted `worker`.
+                    file_suffix: "crates/core/src/host.rs",
+                    fns: &["worker"],
+                    forbid_index: false,
+                },
+            ],
+            sim_paths: &["crates/sim/src/"],
+            sim_forbidden: &[
+                "Instant",
+                "SystemTime",
+                "HashMap",
+                "HashSet",
+                "RandomState",
+                "thread_rng",
+                "available_parallelism",
+                "sleep",
+            ],
+        }
+    }
+
+    /// A minimal configuration for fixture tests: scopes keyed on the
+    /// fixture file names so each rule can be exercised by a single
+    /// self-contained bad file.
+    pub fn fixture() -> Config {
+        Config {
+            facade_allowed: &[],
+            ordering_exempt: &[],
+            hot_denylist: &[HotDenyEntry {
+                file_suffix: "hot_path_alloc.rs",
+                fns: &["denylisted_hot"],
+            }],
+            kernel_scopes: &[KernelScope {
+                file_suffix: "panic_in_kernel.rs",
+                fns: &["push_group", "pop_group"],
+                forbid_index: true,
+            }],
+            sim_paths: &["sim_determinism.rs"],
+            sim_forbidden: Config::project().sim_forbidden,
+        }
+    }
+
+    /// Is `path` allowed to bypass the atomics facade?
+    pub fn is_facade_allowed(&self, path: &str) -> bool {
+        self.facade_allowed.iter().any(|p| path.contains(p))
+    }
+
+    /// Is `path` exempt from the ordering-dataflow rules?
+    pub fn is_ordering_exempt(&self, path: &str) -> bool {
+        self.ordering_exempt.iter().any(|p| path.contains(p))
+    }
+
+    /// Is `path` inside the deterministic-simulation scope?
+    pub fn is_sim_path(&self, path: &str) -> bool {
+        self.sim_paths.iter().any(|p| path.contains(p))
+    }
+
+    /// The kernel scope covering `path`, if any.
+    pub fn kernel_scope(&self, path: &str) -> Option<&KernelScope> {
+        self.kernel_scopes
+            .iter()
+            .find(|s| path.ends_with(s.file_suffix))
+    }
+
+    /// Hot-denylisted function names for `path`.
+    pub fn hot_fns(&self, path: &str) -> &'static [&'static str] {
+        self.hot_denylist
+            .iter()
+            .find(|e| path.ends_with(e.file_suffix))
+            .map(|e| e.fns)
+            .unwrap_or(&[])
+    }
+}

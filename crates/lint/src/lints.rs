@@ -1,0 +1,525 @@
+//! The lint rules.
+//!
+//! Each rule is a pure function from the parsed workspace to findings;
+//! suppression (`#[allow_atos_lint(..)]` attributes, `atos-lint: allow(..)`
+//! comments, `lint:skip-file` markers) is applied centrally by
+//! [`crate::run`], so rules report every raw site they see.
+
+use crate::config::Config;
+use crate::model::{events_of, Event, Ord};
+use crate::parse::{FnItem, TokKind};
+use crate::{Finding, SourceFile, Workspace};
+
+/// All rule identifiers, in report order.
+pub const RULES: &[&str] = &[
+    "facade-bypass",
+    "relaxed-publish",
+    "unreleased-write",
+    "acquire-pairing",
+    "hot-path-alloc",
+    "panic-in-kernel",
+    "sim-determinism",
+    "missing-safety",
+];
+
+/// Run every rule over the workspace.
+pub fn run_all(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if file.skip {
+            continue;
+        }
+        facade_bypass(file, cfg, &mut out);
+        ordering_rules(file, cfg, &mut out);
+        hot_path_alloc(ws, fi, cfg, &mut out);
+        panic_in_kernel(file, cfg, &mut out);
+        sim_determinism(file, cfg, &mut out);
+        missing_safety(file, &mut out);
+    }
+    out
+}
+
+fn finding(rule: &'static str, file: &SourceFile, line: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        file: file.path.clone(),
+        line,
+        message,
+    }
+}
+
+// ---------------------------------------------------------------- facade
+
+/// Rule 1: `facade-bypass` — only the facade, the model checker, and the
+/// vendored shims may name `std::sync::atomic` / `std::cell::UnsafeCell`
+/// directly. Everything else goes through `atos_queue::sync`, so the
+/// whole workspace can be re-pointed at the checker's shadow types with
+/// one `--cfg`.
+fn facade_bypass(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if cfg.is_facade_allowed(&file.path) {
+        return;
+    }
+    let toks = &file.parsed.toks;
+    let mut seen_lines = Vec::new();
+    for i in 0..toks.len().saturating_sub(4) {
+        let root = toks[i].text.as_str();
+        if (root == "std" || root == "core")
+            && toks[i + 1].is("::")
+            && toks[i + 3].is("::")
+            && toks[i].kind == TokKind::Ident
+        {
+            let ns = toks[i + 2].text.as_str();
+            let leaf = toks[i + 4].text.as_str();
+            let hit = (ns == "sync" && leaf == "atomic")
+                || (ns == "cell" && leaf == "UnsafeCell");
+            if hit && !seen_lines.contains(&toks[i].line) {
+                seen_lines.push(toks[i].line);
+                out.push(finding(
+                    "facade-bypass",
+                    file,
+                    toks[i].line,
+                    format!(
+                        "direct `{root}::{ns}::{}` use; go through the `atos_queue::sync` \
+                         facade so `--cfg atos_check` can interpose the model checker",
+                        if ns == "sync" { "atomic" } else { leaf }
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- ordering
+
+/// Rules 2–4: the ordering-dataflow pass. Per non-test function, walk the
+/// event list tracking the publication protocol:
+///
+/// * `relaxed-publish` — a relaxed atomic *write* (store/RMW/CAS-success)
+///   while a cell write is still unpublished. Readers that acquire-load
+///   the counter would not synchronize-with the slot contents.
+/// * `unreleased-write` — a cell write that is never followed by any
+///   release-ordered atomic write in the same function: the data has no
+///   publication edge at all.
+/// * `acquire-pairing` — a relaxed load of a *publish field* (a field
+///   that receives release-ordered writes somewhere in the file) followed
+///   by a cell read with no intervening acquire: the read may observe
+///   pre-publication slot state.
+fn ordering_rules(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if cfg.is_ordering_exempt(&file.path) {
+        return;
+    }
+    // Publish fields: receive a release-ordered atomic write in any
+    // non-test fn of this file.
+    let mut publish_fields: Vec<String> = Vec::new();
+    let fn_events: Vec<(usize, Vec<Event>)> = file
+        .parsed
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.in_test_mod && !f.body.is_empty())
+        .map(|(i, f)| (i, events_of(&file.parsed, f)))
+        .collect();
+    for (_, evs) in &fn_events {
+        for e in evs {
+            let (field, ord) = match e {
+                Event::AtomicWrite { field, ord, .. } => (field, *ord),
+                Event::Cas { field, success, .. } => (field, *success),
+                _ => continue,
+            };
+            if ord.releases() && !field.is_empty() && !publish_fields.contains(field) {
+                publish_fields.push(field.clone());
+            }
+        }
+    }
+
+    for (fidx, evs) in &fn_events {
+        let f = &file.parsed.fns[*fidx];
+        // Pending (unpublished) cell writes, by line.
+        let mut pending: Vec<(String, u32)> = Vec::new();
+        // Relaxed load of a publish field with no acquire since.
+        let mut tainted: Option<(String, u32)> = None;
+        for e in evs {
+            match e {
+                Event::CellWrite { field, line } => pending.push((field.clone(), *line)),
+                Event::AtomicWrite { field, ord, line }
+                | Event::Cas {
+                    field,
+                    success: ord,
+                    line,
+                } => {
+                    if ord.releases() {
+                        pending.clear();
+                    } else if *ord == Ord::Relaxed && !pending.is_empty() {
+                        let (_, wline) = pending[0].clone();
+                        out.push(finding(
+                            "relaxed-publish",
+                            file,
+                            *line,
+                            format!(
+                                "relaxed atomic write to `{field}` in `{}` while the cell \
+                                 write at line {wline} is unpublished; use Release (or \
+                                 stronger) so poppers synchronize-with the slot contents",
+                                f.name
+                            ),
+                        ));
+                        // Treat as published to avoid cascading reports.
+                        pending.clear();
+                    }
+                    if ord.acquires() {
+                        tainted = None;
+                    }
+                }
+                Event::AtomicLoad { field, ord, line } => {
+                    if ord.acquires() {
+                        tainted = None;
+                    } else if *ord == Ord::Relaxed
+                        && publish_fields.contains(field)
+                        && tainted.is_none()
+                    {
+                        tainted = Some((field.clone(), *line));
+                    }
+                }
+                Event::Fence { ord, .. } => {
+                    if ord.releases() {
+                        pending.clear();
+                    }
+                    if ord.acquires() {
+                        tainted = None;
+                    }
+                }
+                Event::CellRead { line, .. } => {
+                    if let Some((lfield, lline)) = &tainted {
+                        out.push(finding(
+                            "acquire-pairing",
+                            file,
+                            *line,
+                            format!(
+                                "cell read in `{}` after relaxed load of publish field \
+                                 `{lfield}` (line {lline}) with no acquire in between; \
+                                 the read can observe pre-publication slot state",
+                                f.name
+                            ),
+                        ));
+                        tainted = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (field, wline) in pending {
+            out.push(finding(
+                "unreleased-write",
+                file,
+                wline,
+                format!(
+                    "cell write to `{field}` in `{}` is never published by a \
+                     release-ordered atomic write in this function",
+                    f.name
+                ),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------ hot-path
+
+const ALLOC_METHODS: &[&str] = &[
+    "with_capacity",
+    "collect",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "into_boxed_slice",
+    "reserve",
+    "reserve_exact",
+];
+const ALLOC_NEW_PATHS: &[&str] = &["Box::", "Rc::", "Arc::"];
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Does this event allocate? Returns a short description if so.
+fn alloc_pattern(e: &Event) -> Option<String> {
+    match e {
+        Event::Macro { name, .. } if ALLOC_MACROS.contains(&name.as_str()) => {
+            Some(format!("{name}!"))
+        }
+        Event::Call { name, path, .. } => {
+            if ALLOC_METHODS.contains(&name.as_str()) {
+                Some(name.clone())
+            } else if name == "new" && ALLOC_NEW_PATHS.contains(&path.as_str()) {
+                Some(format!("{path}new"))
+            } else if name == "from" && path == "String::" {
+                Some("String::from".into())
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Which crate (by `crates/<name>/` path segment) a file belongs to.
+fn crate_of(path: &str) -> &str {
+    if let Some(i) = path.find("crates/") {
+        let rest = &path[i + "crates/".len()..];
+        rest.split('/').next().unwrap_or("")
+    } else {
+        ""
+    }
+}
+
+/// Resolve a call by name: unique non-test fn in the same file, else
+/// unique in the same crate, else (for path-qualified calls only) unique
+/// in the workspace. Method calls and bare calls never resolve across
+/// crates — a `.write(..)` on a raw pointer must not resolve to some
+/// unrelated crate's `write` function. Ambiguous or unknown names (std
+/// methods, trait calls with many impls) resolve to nothing — the
+/// dynamic `alloc_count` guard covers what name resolution cannot.
+fn resolve_call(
+    ws: &Workspace,
+    from_file: usize,
+    name: &str,
+    qualified: bool,
+) -> Option<(usize, usize)> {
+    let mut same_file = Vec::new();
+    let mut same_crate = Vec::new();
+    let mut anywhere = Vec::new();
+    let from_crate = crate_of(&ws.files[from_file].path);
+    for (fi, file) in ws.files.iter().enumerate() {
+        if file.skip {
+            continue;
+        }
+        for (gi, g) in file.parsed.fns.iter().enumerate() {
+            if g.name != name || g.in_test_mod || g.body.is_empty() {
+                continue;
+            }
+            anywhere.push((fi, gi));
+            if fi == from_file {
+                same_file.push((fi, gi));
+            } else if crate_of(&file.path) == from_crate {
+                same_crate.push((fi, gi));
+            }
+        }
+    }
+    let buckets = if qualified {
+        vec![same_file, same_crate, anywhere]
+    } else {
+        vec![same_file, same_crate]
+    };
+    for bucket in buckets {
+        match bucket.len() {
+            0 => continue,
+            1 => return Some(bucket[0]),
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Is this function hot: annotated `#[atos_hot]` or config-denylisted.
+fn is_hot(file: &SourceFile, f: &FnItem, cfg: &Config) -> bool {
+    if f.in_test_mod || f.body.is_empty() {
+        return false;
+    }
+    f.attrs.iter().any(|a| a.name == "atos_hot")
+        || cfg.hot_fns(&file.path).contains(&f.name.as_str())
+}
+
+fn has_allow(f: &FnItem, rule_snake: &str) -> bool {
+    f.attrs
+        .iter()
+        .any(|a| a.name == "allow_atos_lint" && a.args.iter().any(|x| x == rule_snake))
+}
+
+/// Rule 5: `hot-path-alloc` — no allocating construct in a hot function
+/// or in any workspace function it calls directly (one level deep).
+fn hot_path_alloc(ws: &Workspace, fi: usize, cfg: &Config, out: &mut Vec<Finding>) {
+    let file = &ws.files[fi];
+    for f in &file.parsed.fns {
+        if !is_hot(file, f, cfg) {
+            continue;
+        }
+        let evs = events_of(&file.parsed, f);
+        for e in &evs {
+            if let Some(pat) = alloc_pattern(e) {
+                out.push(finding(
+                    "hot-path-alloc",
+                    file,
+                    e.line(),
+                    format!("allocating `{pat}` in hot-path fn `{}`", f.name),
+                ));
+            }
+        }
+        // One level deep: direct callees.
+        let mut checked: Vec<&str> = Vec::new();
+        for e in &evs {
+            let (name, path, line) = match e {
+                Event::Call { name, path, line } => (name.as_str(), path.as_str(), *line),
+                _ => continue,
+            };
+            if checked.contains(&name) {
+                continue;
+            }
+            checked.push(name);
+            let Some((cfi, cgi)) = resolve_call(ws, fi, name, !path.is_empty()) else {
+                continue;
+            };
+            let cfile = &ws.files[cfi];
+            let callee = &cfile.parsed.fns[cgi];
+            // Hot callees get their own direct report; suppressed callees
+            // are vetted at their definition.
+            if is_hot(cfile, callee, cfg) || has_allow(callee, "hot_path_alloc") {
+                continue;
+            }
+            for ce in events_of(&cfile.parsed, callee) {
+                if let Some(pat) = alloc_pattern(&ce) {
+                    out.push(finding(
+                        "hot-path-alloc",
+                        file,
+                        line,
+                        format!(
+                            "hot-path fn `{}` calls `{}` ({}:{}), which allocates \
+                             (`{pat}` at line {})",
+                            f.name,
+                            callee.name,
+                            cfile.path,
+                            callee.line,
+                            ce.line()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- panic-in-kernel
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne"];
+const PANIC_CALLS: &[&str] = &["unwrap", "expect"];
+
+/// Rule 6: `panic-in-kernel` — no panicking construct in queue-protocol
+/// and runtime-step functions. A panic between reservation and
+/// publication strands the reservation for every other thread.
+fn panic_in_kernel(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    let Some(scope) = cfg.kernel_scope(&file.path) else {
+        return;
+    };
+    for f in &file.parsed.fns {
+        if f.in_test_mod || !scope.fns.contains(&f.name.as_str()) {
+            continue;
+        }
+        for e in events_of(&file.parsed, f) {
+            match &e {
+                Event::Macro { name, line } if PANIC_MACROS.contains(&name.as_str()) => {
+                    out.push(finding(
+                        "panic-in-kernel",
+                        file,
+                        *line,
+                        format!("`{name}!` in protocol fn `{}` can abort mid-protocol", f.name),
+                    ));
+                }
+                Event::Call { name, line, .. } if PANIC_CALLS.contains(&name.as_str()) => {
+                    out.push(finding(
+                        "panic-in-kernel",
+                        file,
+                        *line,
+                        format!(
+                            "`{name}()` in protocol fn `{}` can abort mid-protocol; \
+                             handle the None/Err arm or use an unchecked accessor with \
+                             a SAFETY argument",
+                            f.name
+                        ),
+                    ));
+                }
+                Event::Index { base, line } if scope.forbid_index => {
+                    out.push(finding(
+                        "panic-in-kernel",
+                        file,
+                        *line,
+                        format!(
+                            "panicking index `{base}[..]` in protocol fn `{}`; use a \
+                             bounds-proven unchecked accessor",
+                            f.name
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------ sim-determinism
+
+/// Rule 7: `sim-determinism` — the simulator must be a pure function of
+/// its inputs: no wall-clock types, no default-hasher containers (their
+/// iteration order is seeded per-process), no thread sleeps.
+fn sim_determinism(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if !cfg.is_sim_path(&file.path) {
+        return;
+    }
+    let toks = &file.parsed.toks;
+    let mut seen: Vec<(u32, String)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !cfg.sim_forbidden.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `sleep` only as a call; the rest also in type/use position.
+        if t.text == "sleep" && !toks.get(i + 1).map(|n| n.is("(")).unwrap_or(false) {
+            continue;
+        }
+        if let Some(f) = file.parsed.enclosing_fn(i) {
+            if f.in_test_mod {
+                continue;
+            }
+        }
+        let key = (t.line, t.text.clone());
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        out.push(finding(
+            "sim-determinism",
+            file,
+            t.line,
+            format!(
+                "`{}` in deterministic-simulation code; virtual time and order-stable \
+                 containers (BTreeMap/Vec) only",
+                t.text
+            ),
+        ));
+    }
+}
+
+// -------------------------------------------------------- missing-safety
+
+/// Rule 8: `missing-safety` — every `unsafe` keyword needs a `SAFETY:`
+/// comment on the same line or within the 8 preceding lines.
+fn missing_safety(file: &SourceFile, out: &mut Vec<Finding>) {
+    let mut seen_lines: Vec<u32> = Vec::new();
+    for (i, t) in file.parsed.toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !t.is("unsafe") {
+            continue;
+        }
+        // `unsafe fn` declarations document their contract with a
+        // `# Safety` doc section; the SAFETY-comment convention applies to
+        // the sites that *discharge* an obligation (blocks and impls).
+        if file.parsed.toks.get(i + 1).is_some_and(|n| n.is("fn")) {
+            continue;
+        }
+        if seen_lines.contains(&t.line) {
+            continue;
+        }
+        seen_lines.push(t.line);
+        if !file.parsed.comment_near(t.line, 8, "SAFETY") {
+            out.push(finding(
+                "missing-safety",
+                file,
+                t.line,
+                "`unsafe` without a `SAFETY:` comment on the same line or within \
+                 the 8 preceding lines"
+                    .into(),
+            ));
+        }
+    }
+}

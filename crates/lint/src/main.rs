@@ -1,0 +1,178 @@
+//! `atos-lint` CLI.
+//!
+//! ```text
+//! atos-lint --workspace [--json] [--deny-new] [--baseline FILE] [--write-baseline]
+//! atos-lint PATH...            # lint specific files/directories
+//! ```
+//!
+//! Exit codes: 0 = clean (or all findings baselined under `--deny-new`),
+//! 1 = findings, 2 = usage or I/O error.
+
+use atos_lint::{baseline, config::Config, report, run, Workspace};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    deny_new: bool,
+    write_baseline: bool,
+    baseline: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: atos-lint (--workspace | PATH...) [--json] [--deny-new] \
+         [--baseline FILE] [--write-baseline]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut a = Args {
+        workspace: false,
+        json: false,
+        deny_new: false,
+        write_baseline: false,
+        baseline: None,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => a.workspace = true,
+            "--json" => a.json = true,
+            "--deny-new" => a.deny_new = true,
+            "--write-baseline" => a.write_baseline = true,
+            "--baseline" => match it.next() {
+                Some(p) => a.baseline = Some(PathBuf::from(p)),
+                None => return Err(usage()),
+            },
+            "-h" | "--help" => return Err(usage()),
+            p if !p.starts_with('-') => a.paths.push(PathBuf::from(p)),
+            _ => return Err(usage()),
+        }
+    }
+    if !a.workspace && a.paths.is_empty() {
+        return Err(usage());
+    }
+    Ok(a)
+}
+
+/// Ascend from the current directory to the workspace root (the first
+/// ancestor whose `Cargo.toml` declares `[workspace]`).
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+
+    let (root, ws) = if args.workspace {
+        let Some(root) = find_workspace_root() else {
+            eprintln!("atos-lint: no workspace root ([workspace] in Cargo.toml) above cwd");
+            return ExitCode::from(2);
+        };
+        match Workspace::discover(&root) {
+            Ok(ws) => (root, ws),
+            Err(e) => {
+                eprintln!("atos-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let mut sources = Vec::new();
+        for p in &args.paths {
+            if let Err(e) = collect(p, &mut sources) {
+                eprintln!("atos-lint: {}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        }
+        (cwd, Workspace::from_sources(sources))
+    };
+
+    let findings = run(&ws, &Config::project());
+
+    let base_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join(".atos-lint-baseline"));
+
+    if args.write_baseline {
+        if let Err(e) = baseline::write(&base_path, &findings) {
+            eprintln!("atos-lint: writing {}: {e}", base_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "atos-lint: wrote {} entr{} to {}",
+            findings.len(),
+            if findings.len() == 1 { "y" } else { "ies" },
+            base_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let effective: Vec<_> = if args.deny_new {
+        let base = match baseline::load(&base_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("atos-lint: reading {}: {e}", base_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        baseline::new_findings(&findings, &base)
+            .into_iter()
+            .cloned()
+            .collect()
+    } else {
+        findings
+    };
+
+    if args.json {
+        println!("{}", report::json(&effective));
+    } else {
+        print!("{}", report::human(&effective));
+    }
+    if effective.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Collect `.rs` sources under an explicit path argument.
+fn collect(p: &Path, out: &mut Vec<(String, String)>) -> std::io::Result<()> {
+    let meta = std::fs::metadata(p)?;
+    if meta.is_dir() {
+        for entry in std::fs::read_dir(p)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            collect(&entry.path(), out)?;
+        }
+    } else if p.extension().map(|e| e == "rs").unwrap_or(false) {
+        out.push((
+            p.to_string_lossy().replace('\\', "/"),
+            std::fs::read_to_string(p)?,
+        ));
+    }
+    Ok(())
+}

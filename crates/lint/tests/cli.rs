@@ -1,0 +1,105 @@
+//! End-to-end CLI tests: exit codes, JSON mode, and the baseline
+//! round-trip, driven through the real `atos-lint` binary.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_atos-lint")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn run(cwd: &Path, args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("spawn atos-lint")
+}
+
+#[test]
+fn usage_error_exits_2() {
+    let out = run(&workspace_root(), &[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = run(&workspace_root(), &["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn clean_workspace_exits_0() {
+    let out = run(&workspace_root(), &["--workspace"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no findings"));
+
+    // The committed (empty) baseline gate passes on the committed tree.
+    let out = run(&workspace_root(), &["--workspace", "--deny-new"]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn findings_exit_1_with_stable_json() {
+    let lint_dir = workspace_root().join("crates/lint");
+    let out = run(
+        &lint_dir,
+        &["tests/fixtures/facade_bypass.rs", "--json"],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Explicit-path mode runs the *project* config, under which the
+    // fixture's raw atomic import is a facade bypass.
+    assert!(
+        stdout.contains("\"rule\":\"facade-bypass\"")
+            && stdout.contains("\"line\":4")
+            && stdout.contains("\"count\":1"),
+        "unexpected JSON: {stdout}"
+    );
+}
+
+#[test]
+fn baseline_round_trip_tolerates_then_gates() {
+    let lint_dir = workspace_root().join("crates/lint");
+    let base = std::env::temp_dir().join(format!(
+        "atos-lint-baseline-test-{}",
+        std::process::id()
+    ));
+    let base_s = base.to_str().unwrap();
+    let fixture = "tests/fixtures/panic_in_kernel.rs";
+
+    // Baseline the fixture's findings, then --deny-new tolerates them...
+    let out = run(
+        &lint_dir,
+        &[fixture, "--baseline", base_s, "--write-baseline"],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let out = run(&lint_dir, &[fixture, "--baseline", base_s, "--deny-new"]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // ...but a second bad file is new relative to the baseline.
+    let out = run(
+        &lint_dir,
+        &[
+            fixture,
+            "tests/fixtures/facade_bypass.rs",
+            "--baseline",
+            base_s,
+            "--deny-new",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("facade-bypass"));
+
+    let _ = std::fs::remove_file(&base);
+}

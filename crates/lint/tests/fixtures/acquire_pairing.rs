@@ -1,0 +1,15 @@
+//! Lint fixture: `acquire-pairing` — `end` is a publish field (it receives
+//! a release-ordered store in `publish`), but `pop` relaxed-loads it and
+//! then reads the slot without an intervening acquire.
+
+pub fn publish(q: &Queue, item: u64) {
+    // SAFETY: fixture; the slot is the publisher's until `end` is bumped.
+    q.slots[0].with_mut(|p| unsafe { (*p).write(item) });
+    q.end.store(1, Ordering::Release);
+}
+
+pub fn pop(q: &Queue) -> u64 {
+    let e = q.end.load(Ordering::Relaxed); // should be Acquire
+    // SAFETY: fixture; `e > 0` implies slot `e - 1` is initialized.
+    q.slots[(e - 1) as usize].with(|p| unsafe { (*p).read() })
+}

@@ -1,0 +1,10 @@
+//! Lint fixture: `facade-bypass` — imports raw std atomics instead of
+//! going through `atos_queue::sync`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+pub fn record() -> u64 {
+    EVENTS.fetch_add(1, Ordering::Relaxed)
+}

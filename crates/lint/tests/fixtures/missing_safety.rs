@@ -1,0 +1,11 @@
+//! Lint fixture: `missing-safety` — every `unsafe` block needs a nearby
+//! safety comment; `first` lacks one, `last` has one and is clean.
+
+pub fn first(xs: &[u64]) -> u64 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+pub fn last(xs: &[u64]) -> u64 {
+    // SAFETY: fixture stand-in; a real caller proves `!xs.is_empty()`.
+    unsafe { *xs.get_unchecked(xs.len() - 1) }
+}

@@ -1,0 +1,10 @@
+//! Lint fixture: `relaxed-publish` — the slot write is still pending when
+//! the `end` counter is stored with `Relaxed`, so a popper that
+//! acquire-loads `end` does not synchronize-with the slot contents.
+
+pub fn push(q: &Queue, item: u64) {
+    let idx = q.end_alloc.fetch_add(1, Ordering::Relaxed);
+    // SAFETY: fixture; the reservation makes the slot exclusively ours.
+    q.slots[idx as usize].with_mut(|p| unsafe { (*p).write(item) });
+    q.end.store(idx + 1, Ordering::Relaxed); // should be Release
+}

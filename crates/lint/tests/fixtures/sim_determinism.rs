@@ -1,0 +1,11 @@
+//! Lint fixture: `sim-determinism` — wall-clock time, thread sleeps, and
+//! default-hasher containers are banned in the simulator.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn sample(latencies: &mut HashMap<u64, u64>, pe: u64) {
+    let t0 = Instant::now();
+    std::thread::sleep(std::time::Duration::from_nanos(pe));
+    latencies.insert(pe, t0.elapsed().as_nanos() as u64);
+}

@@ -1,0 +1,7 @@
+//! Lint fixture: `unreleased-write` — a cell write with no release-ordered
+//! publication edge anywhere in the function.
+
+pub fn stash(q: &Queue, item: u64) {
+    // SAFETY: fixture; slot 0 is reserved for the stash.
+    q.slots[0].with_mut(|p| unsafe { (*p).write(item) });
+}

@@ -1,0 +1,269 @@
+//! Golden tests for the lint pass.
+//!
+//! Each file under `tests/fixtures/` is a deliberately-bad example for
+//! exactly one rule; the `--json` rendering is asserted byte-for-byte so
+//! any drift in rule coverage, line attribution, or report formatting
+//! shows up as a diff against these strings. The fixtures are excluded
+//! from workspace discovery (`tests/fixtures/` is skipped), so they never
+//! pollute the production run.
+
+use atos_lint::{config::Config, lints, report, Finding, Workspace};
+
+fn fixture_dir() -> String {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures").to_string()
+}
+
+/// Lint one fixture in isolation under the fixture configuration.
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let src = std::fs::read_to_string(format!("{}/{name}", fixture_dir()))
+        .unwrap_or_else(|e| panic!("reading fixture {name}: {e}"));
+    let ws = Workspace::from_sources(vec![(format!("fixtures/{name}"), src)]);
+    atos_lint::run(&ws, &Config::fixture())
+}
+
+#[test]
+fn rule_set_is_stable() {
+    assert_eq!(
+        lints::RULES,
+        [
+            "facade-bypass",
+            "relaxed-publish",
+            "unreleased-write",
+            "acquire-pairing",
+            "hot-path-alloc",
+            "panic-in-kernel",
+            "sim-determinism",
+            "missing-safety",
+        ]
+    );
+}
+
+#[test]
+fn every_rule_has_a_fixture() {
+    for rule in lints::RULES {
+        let name = format!("{}.rs", rule.replace('-', "_"));
+        let findings = lint_fixture(&name);
+        assert!(
+            findings.iter().any(|f| f.rule == *rule),
+            "fixture {name} does not trigger `{rule}`: {findings:?}"
+        );
+    }
+}
+
+#[test]
+fn facade_bypass_golden() {
+    assert_eq!(
+        report::json(&lint_fixture("facade_bypass.rs")),
+        "{\"findings\":[{\"rule\":\"facade-bypass\",\"file\":\"fixtures/facade_bypass.rs\",\
+         \"line\":4,\"message\":\"direct `std::sync::atomic` use; go through the \
+         `atos_queue::sync` facade so `--cfg atos_check` can interpose the model \
+         checker\"}],\"count\":1}"
+    );
+}
+
+#[test]
+fn relaxed_publish_golden() {
+    assert_eq!(
+        report::json(&lint_fixture("relaxed_publish.rs")),
+        "{\"findings\":[{\"rule\":\"relaxed-publish\",\"file\":\"fixtures/relaxed_publish.rs\",\
+         \"line\":9,\"message\":\"relaxed atomic write to `end` in `push` while the cell \
+         write at line 8 is unpublished; use Release (or stronger) so poppers \
+         synchronize-with the slot contents\"}],\"count\":1}"
+    );
+}
+
+#[test]
+fn unreleased_write_golden() {
+    assert_eq!(
+        report::json(&lint_fixture("unreleased_write.rs")),
+        "{\"findings\":[{\"rule\":\"unreleased-write\",\"file\":\"fixtures/unreleased_write.rs\",\
+         \"line\":6,\"message\":\"cell write to `slots` in `stash` is never published by a \
+         release-ordered atomic write in this function\"}],\"count\":1}"
+    );
+}
+
+#[test]
+fn acquire_pairing_golden() {
+    assert_eq!(
+        report::json(&lint_fixture("acquire_pairing.rs")),
+        "{\"findings\":[{\"rule\":\"acquire-pairing\",\"file\":\"fixtures/acquire_pairing.rs\",\
+         \"line\":14,\"message\":\"cell read in `pop` after relaxed load of publish field \
+         `end` (line 12) with no acquire in between; the read can observe pre-publication \
+         slot state\"}],\"count\":1}"
+    );
+}
+
+#[test]
+fn hot_path_alloc_golden() {
+    assert_eq!(
+        report::json(&lint_fixture("hot_path_alloc.rs")),
+        "{\"findings\":[\
+         {\"rule\":\"hot-path-alloc\",\"file\":\"fixtures/hot_path_alloc.rs\",\"line\":6,\
+         \"message\":\"allocating `vec!` in hot-path fn `attributed_hot`\"},\
+         {\"rule\":\"hot-path-alloc\",\"file\":\"fixtures/hot_path_alloc.rs\",\"line\":8,\
+         \"message\":\"hot-path fn `attributed_hot` calls `refill` \
+         (fixtures/hot_path_alloc.rs:15), which allocates (`with_capacity` at line 16)\"},\
+         {\"rule\":\"hot-path-alloc\",\"file\":\"fixtures/hot_path_alloc.rs\",\"line\":12,\
+         \"message\":\"allocating `format!` in hot-path fn `denylisted_hot`\"}],\"count\":3}"
+    );
+}
+
+#[test]
+fn panic_in_kernel_golden() {
+    assert_eq!(
+        report::json(&lint_fixture("panic_in_kernel.rs")),
+        "{\"findings\":[\
+         {\"rule\":\"panic-in-kernel\",\"file\":\"fixtures/panic_in_kernel.rs\",\"line\":7,\
+         \"message\":\"`assert!` in protocol fn `push_group` can abort mid-protocol\"},\
+         {\"rule\":\"panic-in-kernel\",\"file\":\"fixtures/panic_in_kernel.rs\",\"line\":9,\
+         \"message\":\"panicking index `slots[..]` in protocol fn `push_group`; use a \
+         bounds-proven unchecked accessor\"},\
+         {\"rule\":\"panic-in-kernel\",\"file\":\"fixtures/panic_in_kernel.rs\",\"line\":15,\
+         \"message\":\"`unwrap()` in protocol fn `pop_group` can abort mid-protocol; handle \
+         the None/Err arm or use an unchecked accessor with a SAFETY argument\"},\
+         {\"rule\":\"panic-in-kernel\",\"file\":\"fixtures/panic_in_kernel.rs\",\"line\":16,\
+         \"message\":\"`expect()` in protocol fn `pop_group` can abort mid-protocol; handle \
+         the None/Err arm or use an unchecked accessor with a SAFETY argument\"}],\
+         \"count\":4}"
+    );
+}
+
+#[test]
+fn sim_determinism_golden() {
+    let msg = "in deterministic-simulation code; virtual time and order-stable \
+               containers (BTreeMap/Vec) only";
+    let findings = lint_fixture("sim_determinism.rs");
+    let got: Vec<(u32, String)> = findings
+        .iter()
+        .map(|f| {
+            assert_eq!(f.rule, "sim-determinism");
+            assert!(f.message.ends_with(msg), "{}", f.message);
+            let ident = f
+                .message
+                .trim_start_matches('`')
+                .split('`')
+                .next()
+                .unwrap()
+                .to_string();
+            (f.line, ident)
+        })
+        .collect();
+    // One finding per (line, identifier): use-position and body-position
+    // hits are both reported, `sleep` only as a call.
+    assert_eq!(
+        got,
+        [
+            (4, "HashMap".to_string()),
+            (5, "Instant".to_string()),
+            (7, "HashMap".to_string()),
+            (8, "Instant".to_string()),
+            (9, "sleep".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn missing_safety_golden() {
+    assert_eq!(
+        report::json(&lint_fixture("missing_safety.rs")),
+        "{\"findings\":[{\"rule\":\"missing-safety\",\"file\":\"fixtures/missing_safety.rs\",\
+         \"line\":5,\"message\":\"`unsafe` without a `SAFETY:` comment on the same line or \
+         within the 8 preceding lines\"}],\"count\":1}"
+    );
+}
+
+// ------------------------------------------------------------ suppression
+
+#[test]
+fn comment_suppression_silences_a_finding() {
+    let src = "// atos-lint: allow(facade_bypass) — test-only counter, not part of\n\
+               // the checked protocol surface.\n\
+               use std::sync::atomic::AtomicU64;\n";
+    let ws = Workspace::from_sources(vec![("x.rs".into(), src.into())]);
+    assert!(atos_lint::run(&ws, &Config::fixture()).is_empty());
+}
+
+#[test]
+fn attribute_suppression_silences_a_finding() {
+    let src = "#[atos_hot]\n\
+               #[allow_atos_lint(hot_path_alloc)]\n\
+               fn warm_up() { let _ = vec![0u8; 64]; }\n";
+    let ws = Workspace::from_sources(vec![("x.rs".into(), src.into())]);
+    assert!(atos_lint::run(&ws, &Config::fixture()).is_empty());
+}
+
+#[test]
+fn skip_file_marker_silences_a_file() {
+    let src = "// lint:skip-file — deliberately-broken twin for mutation tests\n\
+               use std::sync::atomic::AtomicU64;\n\
+               fn f(q: &Q) { q.slots[0].with_mut(|p| ()); }\n";
+    let ws = Workspace::from_sources(vec![("mutations.rs".into(), src.into())]);
+    assert!(atos_lint::run(&ws, &Config::fixture()).is_empty());
+}
+
+// -------------------------------------------------- workspace + mutations
+
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn read_real(rel: &str) -> String {
+    std::fs::read_to_string(workspace_root().join(rel))
+        .unwrap_or_else(|e| panic!("reading {rel}: {e}"))
+}
+
+/// The committed tree has zero findings — the baseline stays empty.
+#[test]
+fn workspace_is_clean() {
+    let ws = Workspace::discover(&workspace_root()).unwrap();
+    let findings = atos_lint::run(&ws, &Config::project());
+    assert!(
+        findings.is_empty(),
+        "workspace should lint clean:\n{}",
+        report::human(&findings)
+    );
+}
+
+/// Seeded mutation: a raw atomic import in the queue crate must be caught.
+#[test]
+fn mutation_raw_atomic_import_is_caught() {
+    let rel = "crates/queue/src/counter.rs";
+    let clean = read_real(rel);
+    let ws = Workspace::from_sources(vec![(rel.into(), clean.clone())]);
+    assert!(
+        atos_lint::run(&ws, &Config::project()).is_empty(),
+        "unmutated counter.rs must lint clean"
+    );
+
+    let mutated = format!("use std::sync::atomic::AtomicUsize;\n{clean}");
+    let ws = Workspace::from_sources(vec![(rel.into(), mutated)]);
+    let findings = atos_lint::run(&ws, &Config::project());
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "facade-bypass" && f.line == 1),
+        "mutation not caught: {findings:?}"
+    );
+}
+
+/// Seeded mutation: an allocating `#[atos_hot]` fn in the runtime must be
+/// caught.
+#[test]
+fn mutation_alloc_in_hot_fn_is_caught() {
+    let rel = "crates/core/src/runtime.rs";
+    let clean = read_real(rel);
+    let mutated = format!(
+        "{clean}\n#[atos_hot]\nfn injected_hot() {{ let _ = format!(\"boom\"); }}\n"
+    );
+    let ws = Workspace::from_sources(vec![(rel.into(), mutated)]);
+    let findings = atos_lint::run(&ws, &Config::project());
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "hot-path-alloc" && f.message.contains("injected_hot")),
+        "mutation not caught: {findings:?}"
+    );
+}

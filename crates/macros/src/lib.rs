@@ -1,0 +1,36 @@
+//! Marker attributes consumed by the [`atos-lint`] static analyzer.
+//!
+//! Both attributes are *inert at runtime*: they expand to the annotated
+//! item unchanged, so they cost nothing in any build. Their payload is the
+//! annotation itself, which `atos-lint` reads back out of the source text:
+//!
+//! * [`macro@atos_hot`] marks a function as being on the runtime hot path.
+//!   The `hot-path-alloc` lint then forbids allocating calls (`vec!`,
+//!   `format!`, `Box::new`, `with_capacity`, `collect`, …) in its body and
+//!   in workspace functions it calls directly, and
+//!   `crates/core/tests/alloc_count.rs` asserts every annotated runtime
+//!   function is exercised by a counted allocation scenario — the static
+//!   denylist and the dynamic guard cannot drift apart.
+//! * [`macro@allow_atos_lint`] suppresses named `atos-lint` rules for one
+//!   item, e.g. `#[allow_atos_lint(panic_in_kernel)]`. Suppressions are
+//!   part of the reviewed source, so every exemption is visible in diffs;
+//!   policy (when a suppression is acceptable) lives in DESIGN.md §7.
+//!
+//! [`atos-lint`]: ../atos_lint/index.html
+
+use proc_macro::TokenStream;
+
+/// Mark a function as runtime-hot-path. Inert; read by `atos-lint`'s
+/// `hot-path-alloc` rule and by the `alloc_count` coverage test.
+#[proc_macro_attribute]
+pub fn atos_hot(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}
+
+/// Suppress the named `atos-lint` rules (snake_case, e.g.
+/// `#[allow_atos_lint(panic_in_kernel, hot_path_alloc)]`) for this item.
+/// Inert; read back from the source by `atos-lint`.
+#[proc_macro_attribute]
+pub fn allow_atos_lint(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

@@ -53,6 +53,32 @@ impl<T: Copy + Send> BrokerQueue<T> {
         self.slots.len()
     }
 
+    /// The slot at `idx`, without the bounds check — protocol code proves
+    /// its indices instead of risking a mid-protocol panic
+    /// (`panic-in-kernel` lint).
+    ///
+    /// # Safety
+    ///
+    /// `idx < self.slots.len() as u64`.
+    #[inline]
+    unsafe fn slot(&self, idx: u64) -> &UnsafeCell<MaybeUninit<T>> {
+        debug_assert!(idx < self.slots.len() as u64);
+        // SAFETY: caller proves `idx` is within the arena.
+        unsafe { self.slots.get_unchecked(idx as usize) }
+    }
+
+    /// The ready flag at `idx`, without the bounds check.
+    ///
+    /// # Safety
+    ///
+    /// `idx < self.flags.len() as u64` (flags and slots have equal length).
+    #[inline]
+    unsafe fn flag(&self, idx: u64) -> &AtomicU32 {
+        debug_assert!(idx < self.flags.len() as u64);
+        // SAFETY: caller proves `idx` is within the arena.
+        unsafe { self.flags.get_unchecked(idx as usize) }
+    }
+
     /// Push one item: reserve, write, fence, set flag (the three-step
     /// protocol the paper describes).
     pub fn push(&self, item: T) -> Result<(), QueueFull> {
@@ -62,12 +88,15 @@ impl<T: Copy + Send> BrokerQueue<T> {
                 capacity: self.slots.len(),
             });
         }
-        // SAFETY: `idx` is exclusively ours (monotone `tail.fetch_add`)
-        // until the Release flag store below publishes it; a popper reads
-        // the slot only after an Acquire load observes READY
-        // (checker-verified edge).
-        self.slots[idx as usize].with_mut(|p| unsafe { (*p).write(item) });
-        self.flags[idx as usize].store(READY, Ordering::Release);
+        // SAFETY: `idx < capacity` (checked above) and is exclusively ours
+        // (monotone `tail.fetch_add`) until the Release flag store below
+        // publishes it; a popper reads the slot only after an Acquire load
+        // observes READY (checker-verified edge).
+        let slot = unsafe { self.slot(idx) };
+        slot.with_mut(|p| unsafe { (*p).write(item) });
+        // SAFETY: same bound as above; flags and slots have equal length.
+        let flag = unsafe { self.flag(idx) };
+        flag.store(READY, Ordering::Release);
         Ok(())
     }
 
@@ -94,16 +123,20 @@ impl<T: Copy + Send> BrokerQueue<T> {
             {
                 continue;
             }
-            let idx = h as usize;
+            // SAFETY: `h < min(tail, capacity)` was checked above and the
+            // head CAS gave us the exclusive claim on exactly this index.
+            let flag = unsafe { self.flag(h) };
             // The producer reserved before we saw tail > h, so READY arrives
             // after a bounded number of its instructions.
-            while self.flags[idx].load(Ordering::Acquire) != READY {
+            while flag.load(Ordering::Acquire) != READY {
                 hint::spin_loop();
             }
-            // SAFETY: the Acquire flag load observed the producer's Release
-            // READY store, so the slot write happens-before this read; the
-            // head CAS gave us the exclusive claim (checker-verified edge).
-            let v = self.slots[idx].with(|p| unsafe { (*p).assume_init() });
+            // SAFETY: same bound as the flag above; the Acquire flag load
+            // observed the producer's Release READY store, so the slot write
+            // happens-before this read; the head CAS gave us the exclusive
+            // claim (checker-verified edge).
+            let slot = unsafe { self.slot(h) };
+            let v = slot.with(|p| unsafe { (*p).assume_init() });
             return Some(v);
         }
     }

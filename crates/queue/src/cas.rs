@@ -55,6 +55,20 @@ impl<T: Copy + Send> CasQueue<T> {
         self.slots.len()
     }
 
+    /// The slot at `idx`, without the bounds check — a bounds panic inside
+    /// the protocol would strand a published reservation (`panic-in-kernel`
+    /// lint), so protocol code proves its indices instead.
+    ///
+    /// # Safety
+    ///
+    /// `idx < self.slots.len() as u64`.
+    #[inline]
+    unsafe fn slot(&self, idx: u64) -> &UnsafeCell<MaybeUninit<T>> {
+        debug_assert!(idx < self.slots.len() as u64);
+        // SAFETY: caller proves `idx` is within the arena.
+        unsafe { self.slots.get_unchecked(idx as usize) }
+    }
+
     /// Push a group of items; the leader reserves with a CAS retry loop.
     pub fn push_group(&self, items: &[T]) -> Result<(), QueueFull> {
         if items.is_empty() {
@@ -89,10 +103,12 @@ impl<T: Copy + Send> CasQueue<T> {
         }
         for (i, &item) in items.iter().enumerate() {
             // SAFETY: `[idx, idx+n)` exclusively reserved (successful CAS on
-            // the monotone `end_alloc`), below capacity; published to
-            // readers only through the AcqRel CAS chain on
-            // `end_max`/`end_count`/`end` below (checker-verified edge).
-            self.slots[(idx + i as u64) as usize].with_mut(|p| unsafe { (*p).write(item) });
+            // the monotone `end_alloc`), below capacity (checked in the
+            // reservation loop); published to readers only through the
+            // AcqRel CAS chain on `end_max`/`end_count`/`end` below
+            // (checker-verified edge).
+            let slot = unsafe { self.slot(idx + i as u64) };
+            slot.with_mut(|p| unsafe { (*p).write(item) });
         }
         // Publication protocol shared with CounterQueue; end_max/end_count
         // also via CAS loops to keep the design pure.
@@ -197,12 +213,14 @@ impl<T: Copy + Send> CasQueue<T> {
                 continue;
             }
             for i in 0..take {
-                // SAFETY: `[s, s+take)` < `e`, and the Acquire load of `end`
-                // above synchronizes with the publishing AcqRel CAS on
-                // `end`, ordering the slot writes before these reads; the
-                // range is exclusively claimed by the successful CAS on
-                // `start` (checker-verified edge).
-                let v = self.slots[(s + i) as usize].with(|p| unsafe { (*p).assume_init() });
+                // SAFETY: `s + i < e <= capacity` (`end` only advances over
+                // successful, capacity-checked reservations), and the
+                // Acquire load of `end` above synchronizes with the
+                // publishing AcqRel CAS on `end`, ordering the slot writes
+                // before these reads; the range is exclusively claimed by
+                // the successful CAS on `start` (checker-verified edge).
+                let slot = unsafe { self.slot(s + i) };
+                let v = slot.with(|p| unsafe { (*p).assume_init() });
                 out.push(v);
             }
             self.counters.add_cas_retries(retries);

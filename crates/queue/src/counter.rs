@@ -107,6 +107,21 @@ impl<T: Copy + Send> CounterQueue<T> {
         self.slots.len()
     }
 
+    /// The slot at `idx`, without the bounds check. A bounds panic inside
+    /// the push/pop protocol would strand a published reservation for
+    /// every other thread, so protocol code proves its indices instead
+    /// (`panic-in-kernel` lint).
+    ///
+    /// # Safety
+    ///
+    /// `idx < self.slots.len() as u64`.
+    #[inline]
+    unsafe fn slot(&self, idx: u64) -> &UnsafeCell<MaybeUninit<T>> {
+        debug_assert!(idx < self.slots.len() as u64);
+        // SAFETY: caller proves `idx` is within the arena.
+        unsafe { self.slots.get_unchecked(idx as usize) }
+    }
+
     /// Push a group of items with a single reservation (the host analog of
     /// `push_warp`/`push_cta`: leader does one `atomicAdd`, lanes write).
     pub fn push_group(&self, items: &[T]) -> Result<(), QueueFull> {
@@ -126,11 +141,13 @@ impl<T: Copy + Send> CounterQueue<T> {
         // Lane writes into the privately reserved range.
         for (i, &item) in items.iter().enumerate() {
             // SAFETY: `[idx, idx+n)` is exclusively ours (disjoint
-            // reservations off the monotone `end_alloc`) and below capacity;
-            // no reader sees the slot until this write is sequenced before
-            // the AcqRel `fetch_max`/`fetch_add` publication chain below and
-            // a popper Acquire-loads `end` (checker-verified edge).
-            self.slots[(idx + i as u64) as usize].with_mut(|p| unsafe { (*p).write(item) });
+            // reservations off the monotone `end_alloc`) and below capacity
+            // (checked above); no reader sees the slot until this write is
+            // sequenced before the AcqRel `fetch_max`/`fetch_add`
+            // publication chain below and a popper Acquire-loads `end`
+            // (checker-verified edge).
+            let slot = unsafe { self.slot(idx + i as u64) };
+            slot.with_mut(|p| unsafe { (*p).write(item) });
         }
         // Completion bookkeeping. The Release in these RMWs orders the slot
         // writes before publication; poppers Acquire `end`.
@@ -216,13 +233,16 @@ impl<T: Copy + Send> CounterQueue<T> {
         let hi = state.claim_hi.min(e);
         let take = (hi.saturating_sub(state.cursor)).min(max as u64);
         for i in 0..take {
-            // SAFETY: `cursor + i < end`, and the Acquire load of `end`
-            // above synchronizes with the publisher's AcqRel `fetch_max` on
-            // `end`, which in turn is ordered after the AcqRel completion
-            // RMWs and the slot writes — so the slot is fully written and
-            // visible. The claim range `[claim_lo, claim_hi)` is exclusively
-            // ours by monotonicity of `start.fetch_add` (checker-verified).
-            let v = self.slots[(state.cursor + i) as usize].with(|p| unsafe { (*p).assume_init() });
+            // SAFETY: `cursor + i < end <= capacity` (`end` only advances
+            // over successful, capacity-checked reservations), and the
+            // Acquire load of `end` above synchronizes with the publisher's
+            // AcqRel `fetch_max` on `end`, which in turn is ordered after
+            // the AcqRel completion RMWs and the slot writes — so the slot
+            // is fully written and visible. The claim range
+            // `[claim_lo, claim_hi)` is exclusively ours by monotonicity of
+            // `start.fetch_add` (checker-verified).
+            let slot = unsafe { self.slot(state.cursor + i) };
+            let v = slot.with(|p| unsafe { (*p).assume_init() });
             out.push(v);
         }
         state.cursor += take;
@@ -306,8 +326,8 @@ impl<T> core::fmt::Debug for CounterQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::AtomicUsize;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
     #[test]

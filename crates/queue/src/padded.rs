@@ -37,7 +37,7 @@ impl<T> core::ops::DerefMut for Padded<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use core::sync::atomic::AtomicU64;
+    use crate::sync::AtomicU64;
 
     #[test]
     fn padded_is_cache_line_sized() {

@@ -253,6 +253,9 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar (input is a &str, so byte
                     // boundaries are valid).
                     let rest = &self.bytes[self.pos..];
+                    // SAFETY: `bytes` came from a `&str` and `pos` only
+                    // advances by whole scalar widths (`len_utf8` below),
+                    // so `rest` starts on a UTF-8 boundary.
                     let s = unsafe { std::str::from_utf8_unchecked(rest) };
                     let c = s.chars().next().unwrap();
                     out.push(c);

@@ -9,8 +9,9 @@
 //! cargo run --release --example host_parallel
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use atos::queue::sync::{AtomicU64, Ordering};
 
 use atos::apps::host_bfs::host_bfs;
 use atos::core::DistributedQueues;

@@ -9,9 +9,10 @@
 //! cargo run --release --example queue_stress
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+use atos::queue::sync::{AtomicU64, Ordering};
 
 use atos::queue::bench_harness::{run, Experiment, QueueKind};
 use atos::queue::counter::CounterQueue;

@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
-# Source-level atomic-ordering lint for the lock-free queue substrate.
+# DEPRECATED compatibility wrapper.
 #
-# Runs the atos-check ordering_lint binary over the protocol sources
-# (crates/queue/src and crates/core/src by default; pass paths to override).
-# Rules (see crates/check/src/lint.rs):
-#   relaxed-publish   compare_exchange with Relaxed success ordering after
-#                     an UnsafeCell slot write in the same function
-#   unreleased-write  UnsafeCell write never followed by a release op
-#   missing-safety    unsafe block/impl/fn without a `// SAFETY:` comment
+# The regex-based atomic-ordering lint that used to live here grew into
+# `atos-lint` (crates/lint): a workspace static-analysis pass that parses
+# every crate and checks facade-bypass, ordering dataflow (relaxed-publish,
+# unreleased-write, acquire-pairing), hot-path-alloc, panic-in-kernel,
+# sim-determinism, and missing-safety. Call it directly:
 #
-# Exit status: 0 clean, 1 findings, 2 usage error.
+#   cargo run -q -p atos-lint -- --workspace [--json] [--deny-new]
+#
+# This wrapper forwards explicit PATH arguments; with no arguments it lints
+# the whole workspace. Exit status: 0 clean, 1 findings, 2 usage error.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-exec cargo run -q -p atos-check --bin ordering_lint -- "$@"
+echo "lint_atomics.sh is deprecated; use: cargo run -q -p atos-lint -- --workspace" >&2
+if [ "$#" -eq 0 ]; then
+    exec cargo run -q -p atos-lint -- --workspace
+fi
+exec cargo run -q -p atos-lint -- "$@"

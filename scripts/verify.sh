@@ -60,8 +60,18 @@ print(f"ok: trace has {len(events)} events, metrics has {len(metrics)} counters"
 EOF
 
 echo
-echo "== atomic-ordering lint (scripts/lint_atomics.sh) =="
-scripts/lint_atomics.sh
+echo "== workspace static analysis (atos-lint, baseline-gated) =="
+cargo run -q -p atos-lint -- --workspace --deny-new
+
+echo
+echo "== miri smoke (atos-queue unit tests) =="
+# Availability-gated: the offline container has no rustup component
+# download, so a missing miri is a skip, not a failure.
+if cargo miri --version > /dev/null 2>&1; then
+    cargo miri test -p atos-queue --lib -q
+else
+    echo "skip: miri not installed (rustup component add miri)"
+fi
 
 echo
 echo "== model checker: queue suites under --cfg atos_check =="
