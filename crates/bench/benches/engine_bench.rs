@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the timing-wheel event engine against the
+//! retained heap reference (`atos_sim::engine::reference::HeapEngine`),
+//! across the three arrival-time distributions the trajectory tracks:
+//! uniform (cascade-heavy), bursty (equal-time drains), and near-now
+//! skewed (the heap's best case).
+//!
+//! Under `cargo bench` each workload schedules and drains 1M events —
+//! the acceptance microbench (the wheel must hold ≥ 2× on uniform).
+//! Under `cargo test` the criterion shim runs each body once as a smoke
+//! test, so the event count drops to keep debug builds fast. Both
+//! runners fold the drain into an order-sensitive checksum, so every
+//! bench run re-proves the wheel pops the exact heap sequence.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+
+use atos_bench::sweep::{BenchArgs, SweepReport};
+use atos_bench::trajectory::{gen_times, run_heap, run_wheel, Dist};
+
+fn bench_engine(c: &mut Criterion) {
+    let bench_mode = std::env::args().any(|a| a == "--bench");
+    let n: usize = if bench_mode { 1_000_000 } else { 50_000 };
+    for dist in Dist::ALL {
+        let times = gen_times(dist, n, 0x5EED_0000 + dist as u64);
+        let mut group = c.benchmark_group(format!("engine_{}_{n}", dist.label()));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter("wheel"), &times, |b, t| {
+            b.iter(|| run_wheel(t))
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("heap"), &times, |b, t| {
+            b.iter(|| run_heap(t))
+        });
+        group.finish();
+        assert_eq!(
+            run_wheel(&times),
+            run_heap(&times),
+            "wheel and heap drains diverged on {} distribution",
+            dist.label()
+        );
+    }
+}
+
+criterion_group!(benches, bench_engine);
+
+fn main() {
+    // Single-threaded by design: the engines under test are sequential
+    // data structures and sweep workers would only add scheduler noise.
+    let args = BenchArgs {
+        threads: 1,
+        ..BenchArgs::parse_from(&[], None, 1).expect("static args")
+    };
+    let report = SweepReport::start("engine_bench", &args);
+    benches();
+    report.finish();
+}

@@ -176,6 +176,7 @@ fn main() {
         json: None,
         trace: None,
         metrics: None,
+        run_id: None,
     };
     let report = SweepReport::start("substrate_bench", &args);
     let mut built = SweepRunner::from_args(&args).run(&[0usize, 1], |_, &which| match which {

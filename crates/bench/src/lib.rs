@@ -20,6 +20,7 @@ use atos_core::RunStats;
 
 pub mod observability;
 pub mod sweep;
+pub mod trajectory;
 
 pub use observability::emit_artifacts;
 pub use sweep::{BenchArgs, SweepReport, SweepRunner};

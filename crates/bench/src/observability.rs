@@ -160,6 +160,7 @@ mod tests {
             json: None,
             trace: None,
             metrics: None,
+            run_id: None,
         };
         emit_artifacts(&args); // must not panic or write anything
     }
@@ -174,6 +175,7 @@ mod tests {
             json: None,
             trace: Some(dir.join("trace.json")),
             metrics: Some(dir.join("metrics.json")),
+            run_id: None,
         };
         emit_artifacts(&args);
         let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();

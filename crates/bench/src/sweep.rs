@@ -12,8 +12,14 @@
 //! `--json PATH`, plus the `ATOS_BENCH_THREADS` environment override),
 //! and [`SweepReport`] records each binary's wall-clock time, thread
 //! count, and total simulator events into `results/BENCH_sweep.json`.
-//! All timing goes to stderr or the JSON file; stdout carries only the
-//! tables, which must stay identical across thread counts.
+//! With `--run-id <sha>@<stamp>` the report entry is keyed
+//! `<binary>@<run-id>` instead of plain `<binary>`, so successive runs
+//! *append* to the committed history rather than overwrite it — the id
+//! is always passed in (typically `git rev-parse --short HEAD` plus
+//! `date -u`), never sampled in-process, keeping wall-clock identity out
+//! of the simulation crates. All timing goes to stderr or the JSON file;
+//! stdout carries only the tables, which must stay identical across
+//! thread counts.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -48,6 +54,11 @@ pub struct BenchArgs {
     /// binary dumps a [`atos_core::MetricsRegistry`] JSON snapshot of the
     /// reference run plus host-queue contention counters.
     pub metrics: Option<PathBuf>,
+    /// Run identity from `--run-id ID` (conventionally
+    /// `<git sha>@<timestamp>`, both produced by the caller): when set,
+    /// the timing-report entry is keyed `<binary>@<ID>` so the report
+    /// accumulates a history instead of overwriting the binary's entry.
+    pub run_id: Option<String>,
 }
 
 impl BenchArgs {
@@ -82,6 +93,7 @@ impl BenchArgs {
         let mut json: Option<PathBuf> = None;
         let mut trace: Option<PathBuf> = None;
         let mut metrics: Option<PathBuf> = None;
+        let mut run_id: Option<String> = None;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -103,10 +115,14 @@ impl BenchArgs {
                     let v = it.next().ok_or("--metrics requires a path")?;
                     metrics = Some(PathBuf::from(v));
                 }
+                "--run-id" => {
+                    let v = it.next().ok_or("--run-id requires a value")?;
+                    run_id = Some(v.clone());
+                }
                 other => {
                     return Err(format!(
                         "unknown argument `{other}` (supported: --quick, --threads N, \
-                         --json PATH, --trace PATH, --metrics PATH)"
+                         --json PATH, --trace PATH, --metrics PATH, --run-id ID)"
                     ))
                 }
             }
@@ -125,6 +141,7 @@ impl BenchArgs {
             json,
             trace,
             metrics,
+            run_id,
         })
     }
 }
@@ -227,10 +244,16 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
-    /// Start timing `binary` under the parsed arguments.
+    /// Start timing `binary` under the parsed arguments. A `--run-id`
+    /// suffixes the report key (`<binary>@<id>`) so the run lands as a
+    /// new history entry instead of replacing the binary's last one.
     pub fn start(binary: &str, args: &BenchArgs) -> Self {
+        let key = match &args.run_id {
+            Some(id) => format!("{binary}@{id}"),
+            None => binary.to_string(),
+        };
         SweepReport {
-            binary: binary.to_string(),
+            binary: key,
             threads: args.threads,
             json: args.json.clone(),
             started: Instant::now(),
@@ -324,6 +347,7 @@ mod tests {
         assert_eq!(a.json, None);
         assert_eq!(a.trace, None);
         assert_eq!(a.metrics, None);
+        assert_eq!(a.run_id, None);
     }
 
     #[test]
@@ -339,6 +363,8 @@ mod tests {
                 "/tmp/t.json",
                 "--metrics",
                 "/tmp/m.json",
+                "--run-id",
+                "abc123@2026-01-01T00:00:00Z",
             ]),
             None,
             1,
@@ -349,6 +375,7 @@ mod tests {
         assert_eq!(a.json, Some(PathBuf::from("/tmp/r.json")));
         assert_eq!(a.trace, Some(PathBuf::from("/tmp/t.json")));
         assert_eq!(a.metrics, Some(PathBuf::from("/tmp/m.json")));
+        assert_eq!(a.run_id.as_deref(), Some("abc123@2026-01-01T00:00:00Z"));
     }
 
     #[test]
@@ -372,6 +399,7 @@ mod tests {
         assert!(BenchArgs::parse_from(&s(&["--json"]), None, 1).is_err());
         assert!(BenchArgs::parse_from(&s(&["--trace"]), None, 1).is_err());
         assert!(BenchArgs::parse_from(&s(&["--metrics"]), None, 1).is_err());
+        assert!(BenchArgs::parse_from(&s(&["--run-id"]), None, 1).is_err());
         assert!(BenchArgs::parse_from(&[], Some("lots"), 1).is_err());
     }
 
@@ -408,6 +436,27 @@ mod tests {
             "{\n  \"table2\": {\"wall_s\": 9.250, \"threads\": 8, \"sim_events\": 300},\n  \
              \"table5\": {\"wall_s\": 2.000, \"threads\": 2, \"sim_events\": 200}\n}\n"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_id_keys_entries_into_a_history() {
+        let mut args = BenchArgs::parse_from(&[], None, 1).unwrap();
+        args.run_id = Some("abc123@t0".to_string());
+        let r = SweepReport::start("fig5", &args);
+        assert_eq!(r.binary, "fig5@abc123@t0");
+
+        // Two runs of the same binary under different run ids accumulate
+        // as separate entries; a re-run of the same id replaces its own.
+        let dir = std::env::temp_dir().join(format!("atos-sweep-runid-{}", std::process::id()));
+        let path = dir.join("BENCH_sweep.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_report_entry(&path, "fig5@abc123@t0", 1.0, 1, 10).unwrap();
+        write_report_entry(&path, "fig5@def456@t1", 2.0, 1, 20).unwrap();
+        write_report_entry(&path, "fig5@abc123@t0", 3.0, 1, 30).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"fig5@abc123@t0\": {\"wall_s\": 3.000"), "{text}");
+        assert!(text.contains("\"fig5@def456@t1\": {\"wall_s\": 2.000"), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

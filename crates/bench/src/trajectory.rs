@@ -1,0 +1,493 @@
+//! Benchmark-trajectory subsystem: engine microbenchmarks, end-to-end
+//! quick-workload timings, and the append-only perf history in
+//! `results/BENCH_trajectory.json`.
+//!
+//! The ROADMAP's north star is a *measurable* perf trajectory: every PR
+//! should be able to state whether it made the hot paths faster. This
+//! module provides the three pieces:
+//!
+//! 1. **Engine microbench harness** ([`gen_times`], [`run_wheel`],
+//!    [`run_heap`]): schedule-then-drain workloads over the timing-wheel
+//!    engine and the retained heap reference, across three arrival-time
+//!    distributions (uniform, bursty, near-now skewed). Both runners
+//!    return an order-sensitive checksum, so the bench doubles as an
+//!    equivalence check: the wheel must pop the exact heap sequence.
+//! 2. **End-to-end quick workloads** ([`fig5_quick_workload`],
+//!    [`fig8_quick_workload`]): the fig5/fig8 sweep grids at test scale,
+//!    run serially in-process so the number is a stable single-core
+//!    wall-clock, not a function of host parallelism.
+//! 3. **The trajectory file** ([`TrajectoryEntry`], [`read_trajectory`],
+//!    [`append_entries`], [`check_regression`]): a committed, append-only
+//!    JSON history keyed by `<git sha>@<timestamp>` — both passed in via
+//!    CLI, never sampled in-process, so simulation crates stay free of
+//!    wall-clock APIs. `scripts/verify.sh` re-measures and gates against
+//!    the last committed entry with `--deny-regression <pct>`.
+//!
+//! All timing here is host-side wall clock around the system under test;
+//! nothing in this module is compiled into the simulator.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use atos_graph::generators::{Preset, Scale};
+use atos_sim::engine::reference::HeapEngine;
+use atos_sim::Engine;
+
+use crate::{
+    bfs_nvlink_ms, ib_ms, pr_nvlink_ms, Dataset, BFS_NVLINK_FRAMEWORKS, PR_NVLINK_FRAMEWORKS,
+};
+
+/// Default location of the committed trajectory history, relative to the
+/// repo root.
+pub const DEFAULT_TRAJECTORY_PATH: &str = "results/BENCH_trajectory.json";
+
+// ---------------------------------------------------------------------------
+// Engine microbench harness
+// ---------------------------------------------------------------------------
+
+/// Arrival-time distribution of a synthetic schedule→pop workload.
+///
+/// The three shapes stress different parts of the wheel: `Uniform` spreads
+/// events across many rotations (cascades and bucket scans), `Bursty`
+/// piles thousands of equal-time events into single buckets (seq-ordered
+/// drains), and `NearNow` keeps deltas tiny so almost everything lands in
+/// the imminent window (the heap's best case — the wheel must not lose).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dist {
+    /// Times uniform over a horizon of ~100ns per event.
+    Uniform,
+    /// ~1024 events per distinct timestamp, timestamps 50µs apart.
+    Bursty,
+    /// Exponentially skewed toward the present (most deltas < 4µs).
+    NearNow,
+}
+
+impl Dist {
+    /// All distributions, in reporting order.
+    pub const ALL: [Dist; 3] = [Dist::Uniform, Dist::Bursty, Dist::NearNow];
+
+    /// Stable lowercase label used in bench names and metric keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dist::Uniform => "uniform",
+            Dist::Bursty => "bursty",
+            Dist::NearNow => "nearnow",
+        }
+    }
+}
+
+/// SplitMix64 step: the standard 64-bit mixer, deterministic and
+/// dependency-free (the bench crate must not pull the sim's seeded RNG
+/// into a measurement loop).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generate `n` deterministic event times for `dist` from `seed`.
+pub fn gen_times(dist: Dist, n: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    let mut times = Vec::with_capacity(n);
+    for _ in 0..n {
+        let r = splitmix64(&mut state);
+        let t = match dist {
+            Dist::Uniform => r % (n as u64 * 100).max(1),
+            Dist::Bursty => (r % (n as u64 / 1024 + 1)) * 50_000,
+            // 2^(6..16) ns ceiling, then uniform below it: heavy mass in
+            // the first few µs, a thin tail out to ~65µs.
+            Dist::NearNow => {
+                let exp = 6 + (r >> 58) % 11;
+                (r >> 16) % (1u64 << exp)
+            }
+        };
+        times.push(t);
+    }
+    times
+}
+
+/// Fold one popped `(time, payload)` pair into an order-sensitive
+/// checksum (multiplicative fold: reorderings change the result).
+fn fold(acc: u64, t: u64, v: u64) -> u64 {
+    acc.wrapping_mul(0x100_0000_01B3).wrapping_add(t ^ v.rotate_left(17))
+}
+
+/// Schedule all `times` into the timing-wheel engine, then pop to empty;
+/// returns the order-sensitive checksum of the drain.
+pub fn run_wheel(times: &[u64]) -> u64 {
+    let mut e: Engine<u64> = Engine::with_capacity(times.len());
+    for (i, &t) in times.iter().enumerate() {
+        e.schedule_at(t, i as u64);
+    }
+    let mut acc = 0u64;
+    while let Some((t, v)) = e.pop() {
+        acc = fold(acc, t, v);
+    }
+    acc
+}
+
+/// Same workload on the retained heap reference
+/// ([`atos_sim::engine::reference::HeapEngine`]); must produce the same
+/// checksum as [`run_wheel`] — the two engines share one total order.
+pub fn run_heap(times: &[u64]) -> u64 {
+    let mut e: HeapEngine<u64> = HeapEngine::new();
+    for (i, &t) in times.iter().enumerate() {
+        e.schedule_at(t, i as u64);
+    }
+    let mut acc = 0u64;
+    while let Some((t, v)) = e.pop() {
+        acc = fold(acc, t, v);
+    }
+    acc
+}
+
+/// Best-of-`samples` wall-clock milliseconds of `f` (first run discarded
+/// as warm-up when `samples > 1`). Best-of, not median: scheduler noise
+/// on a shared host only ever adds time, so the minimum is the most
+/// reproducible estimate of the true cost.
+pub fn best_of_ms<F: FnMut() -> u64>(samples: usize, mut f: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0u64;
+    if samples > 1 {
+        checksum = std::hint::black_box(f());
+    }
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        checksum = std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, checksum)
+}
+
+/// Measure wheel-vs-heap on `n` events of every distribution; returns the
+/// metric map of an `engine_microbench` trajectory entry
+/// (`<dist>_wheel_ms`, `<dist>_heap_ms`, `<dist>_speedup_x`, `events`).
+/// Panics if any distribution's checksums diverge — a perf number for a
+/// wrong engine is worse than no number.
+pub fn measure_engine(n: usize, samples: usize) -> BTreeMap<String, f64> {
+    let mut metrics = BTreeMap::new();
+    metrics.insert("events".to_string(), n as f64);
+    for dist in Dist::ALL {
+        let times = gen_times(dist, n, 0x5EED_0000 + dist as u64);
+        let (wheel_ms, wheel_sum) = best_of_ms(samples, || run_wheel(&times));
+        let (heap_ms, heap_sum) = best_of_ms(samples, || run_heap(&times));
+        assert_eq!(
+            wheel_sum,
+            heap_sum,
+            "wheel and heap drains diverged on {} distribution",
+            dist.label()
+        );
+        metrics.insert(format!("{}_wheel_ms", dist.label()), wheel_ms);
+        metrics.insert(format!("{}_heap_ms", dist.label()), heap_ms);
+        metrics.insert(format!("{}_speedup_x", dist.label()), heap_ms / wheel_ms);
+    }
+    metrics
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end quick workloads
+// ---------------------------------------------------------------------------
+
+/// The fig5 sweep grid (NVLink BFS + PageRank strong scaling) at test
+/// scale, run serially; returns wall-clock milliseconds.
+pub fn fig5_quick_workload() -> f64 {
+    let datasets: Vec<Dataset> = Preset::SCALING
+        .iter()
+        .map(|n| Dataset::build(Preset::by_name(n).unwrap(), Scale::Tiny))
+        .collect();
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for ds in &datasets {
+        for g in 1..=4usize {
+            for fw in BFS_NVLINK_FRAMEWORKS {
+                acc += bfs_nvlink_ms(fw, ds, g);
+            }
+            for fw in PR_NVLINK_FRAMEWORKS {
+                acc += pr_nvlink_ms(fw, ds, g);
+            }
+        }
+    }
+    std::hint::black_box(acc);
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// The fig8 sweep grid (InfiniBand BFS strong scaling) at test scale,
+/// run serially; returns wall-clock milliseconds.
+pub fn fig8_quick_workload() -> f64 {
+    let datasets: Vec<Dataset> = Preset::SCALING
+        .iter()
+        .map(|n| Dataset::build(Preset::by_name(n).unwrap(), Scale::Tiny))
+        .collect();
+    let t0 = Instant::now();
+    let mut acc = 0.0f64;
+    for ds in &datasets {
+        for fw in ["Galois", "Atos"] {
+            for g in 1..=8usize {
+                acc += ib_ms(fw, "bfs", ds, g);
+            }
+        }
+    }
+    std::hint::black_box(acc);
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+// ---------------------------------------------------------------------------
+// Trajectory file
+// ---------------------------------------------------------------------------
+
+/// One measurement record in `results/BENCH_trajectory.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryEntry {
+    /// `<git sha>@<timestamp>` — both supplied on the command line.
+    pub run_id: String,
+    /// Entry kind: `engine_microbench` or `e2e_quick`.
+    pub kind: String,
+    /// Numeric metrics; key suffixes carry the regression direction
+    /// (`_ms` = lower is better, `_speedup_x` = higher is better).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Format one metric value: integral counts print without a fraction,
+/// timings keep three decimals.
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn format_entry(e: &TrajectoryEntry) -> String {
+    let mut s = format!("{{\"run_id\": \"{}\", \"kind\": \"{}\"", e.run_id, e.kind);
+    for (k, v) in &e.metrics {
+        s.push_str(&format!(", \"{k}\": {}", fmt_value(*v)));
+    }
+    s.push('}');
+    s
+}
+
+fn parse_entry(line: &str) -> Option<TrajectoryEntry> {
+    let inner = line.trim().trim_end_matches(',');
+    let inner = inner.strip_prefix('{')?.strip_suffix('}')?;
+    let mut entry = TrajectoryEntry {
+        run_id: String::new(),
+        kind: String::new(),
+        metrics: BTreeMap::new(),
+    };
+    // Values are numbers or simple strings (shas, ISO timestamps), so the
+    // `", "` key boundary is unambiguous.
+    for part in inner.split(", \"") {
+        let part = part.trim_start_matches('"');
+        let (key, val) = part.split_once("\": ")?;
+        let key = key.trim_end_matches('"');
+        if let Some(sval) = val.strip_prefix('"') {
+            let sval = sval.trim_end_matches('"');
+            match key {
+                "run_id" => entry.run_id = sval.to_string(),
+                "kind" => entry.kind = sval.to_string(),
+                _ => {}
+            }
+        } else if let Ok(f) = val.trim().parse::<f64>() {
+            entry.metrics.insert(key.to_string(), f);
+        }
+    }
+    Some(entry)
+}
+
+/// Read every entry of the trajectory file, oldest first. A missing file
+/// is an empty history, not an error.
+pub fn read_trajectory(path: &Path) -> io::Result<Vec<TrajectoryEntry>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(text.lines().filter_map(parse_entry).collect())
+}
+
+/// The most recent entry of `kind`, if any.
+pub fn last_of_kind<'a>(
+    history: &'a [TrajectoryEntry],
+    kind: &str,
+) -> Option<&'a TrajectoryEntry> {
+    history.iter().rev().find(|e| e.kind == kind)
+}
+
+/// Append `new` to the history at `path` (read, extend, rewrite — one
+/// entry per line inside a JSON array, diff-stable).
+pub fn append_entries(path: &Path, new: &[TrajectoryEntry]) -> io::Result<()> {
+    let mut entries = read_trajectory(path)?;
+    entries.extend(new.iter().cloned());
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut out = String::from("[\n");
+    let last = entries.len().saturating_sub(1);
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format_entry(e));
+        if i != last {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+/// Compare `cur` against `prev` under a `pct` tolerance; returns one
+/// human-readable violation per regressed metric (empty = gate passes).
+///
+/// Direction comes from the key suffix: `_ms` fails when the new value is
+/// more than `pct` percent *slower*, `_speedup_x` when it is more than
+/// `pct` percent *lower*. Other keys are informational. When both entries
+/// record an `events` count and they differ, absolute `_ms` metrics are
+/// not comparable and are skipped (the ratio metrics still are).
+pub fn check_regression(
+    prev: &TrajectoryEntry,
+    cur: &TrajectoryEntry,
+    pct: f64,
+) -> Vec<String> {
+    let scale_mismatch = match (prev.metrics.get("events"), cur.metrics.get("events")) {
+        (Some(a), Some(b)) => a != b,
+        _ => false,
+    };
+    let mut violations = Vec::new();
+    for (key, &cur_v) in &cur.metrics {
+        let Some(&prev_v) = prev.metrics.get(key) else {
+            continue;
+        };
+        if prev_v <= 0.0 {
+            continue;
+        }
+        if key.ends_with("_ms") && !scale_mismatch {
+            if cur_v > prev_v * (1.0 + pct / 100.0) {
+                violations.push(format!(
+                    "{} [{key}]: {cur_v:.3} ms vs {prev_v:.3} ms in {} (> {pct}% slower)",
+                    cur.kind, prev.run_id
+                ));
+            }
+        } else if key.ends_with("_speedup_x") && cur_v < prev_v * (1.0 - pct / 100.0) {
+            violations.push(format!(
+                "{} [{key}]: {cur_v:.2}x vs {prev_v:.2}x in {} (> {pct}% lower)",
+                cur.kind, prev.run_id
+            ));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(kind: &str, metrics: &[(&str, f64)]) -> TrajectoryEntry {
+        TrajectoryEntry {
+            run_id: "abc123@2026-01-01T00:00:00Z".to_string(),
+            kind: kind.to_string(),
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn wheel_and_heap_agree_on_every_distribution() {
+        for dist in Dist::ALL {
+            let times = gen_times(dist, 10_000, 42);
+            assert_eq!(
+                run_wheel(&times),
+                run_heap(&times),
+                "{} drain order diverged",
+                dist.label()
+            );
+        }
+    }
+
+    #[test]
+    fn gen_times_is_deterministic_and_shaped() {
+        let a = gen_times(Dist::Bursty, 4096, 7);
+        let b = gen_times(Dist::Bursty, 4096, 7);
+        assert_eq!(a, b);
+        // Bursty really does collide: far fewer distinct times than events.
+        let mut d = a.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert!(d.len() < a.len() / 100, "{} distinct of {}", d.len(), a.len());
+        // Near-now mass sits close to zero.
+        let nn = gen_times(Dist::NearNow, 4096, 7);
+        let near = nn.iter().filter(|&&t| t < 4096).count();
+        assert!(near > nn.len() / 4, "only {near} of {} near now", nn.len());
+    }
+
+    #[test]
+    fn measure_engine_reports_all_metrics() {
+        let m = measure_engine(2_000, 1);
+        assert_eq!(m["events"], 2_000.0);
+        for dist in Dist::ALL {
+            for suffix in ["wheel_ms", "heap_ms", "speedup_x"] {
+                let key = format!("{}_{suffix}", dist.label());
+                assert!(m[&key] > 0.0, "{key} not positive");
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_file_round_trips_and_appends() {
+        let dir = std::env::temp_dir().join(format!("atos-traj-test-{}", std::process::id()));
+        let path = dir.join("BENCH_trajectory.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(read_trajectory(&path).unwrap().is_empty());
+        let e1 = entry("engine_microbench", &[("events", 1e6), ("uniform_wheel_ms", 81.125)]);
+        let e2 = entry("e2e_quick", &[("fig5_quick_ms", 2311.5)]);
+        append_entries(&path, std::slice::from_ref(&e1)).unwrap();
+        append_entries(&path, std::slice::from_ref(&e2)).unwrap();
+        let history = read_trajectory(&path).unwrap();
+        assert_eq!(history, vec![e1.clone(), e2.clone()]);
+        assert_eq!(last_of_kind(&history, "e2e_quick"), Some(&e2));
+        assert_eq!(last_of_kind(&history, "engine_microbench"), Some(&e1));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n{\"run_id\": "), "{text}");
+        assert!(text.ends_with("}\n]\n"), "{text}");
+        assert!(text.contains("\"events\": 1000000,"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn regression_gate_directions() {
+        let prev = entry(
+            "e2e_quick",
+            &[("fig5_quick_ms", 100.0), ("uniform_speedup_x", 3.0)],
+        );
+        // Within tolerance both ways: passes.
+        let ok = entry(
+            "e2e_quick",
+            &[("fig5_quick_ms", 109.0), ("uniform_speedup_x", 2.8)],
+        );
+        assert!(check_regression(&prev, &ok, 10.0).is_empty());
+        // Slower time and lower speedup both flagged.
+        let bad = entry(
+            "e2e_quick",
+            &[("fig5_quick_ms", 120.0), ("uniform_speedup_x", 2.0)],
+        );
+        let v = check_regression(&prev, &bad, 10.0);
+        assert_eq!(v.len(), 2, "{v:?}");
+        // A faster run never fails.
+        let fast = entry(
+            "e2e_quick",
+            &[("fig5_quick_ms", 50.0), ("uniform_speedup_x", 9.0)],
+        );
+        assert!(check_regression(&prev, &fast, 10.0).is_empty());
+    }
+
+    #[test]
+    fn regression_gate_skips_ms_across_event_scales() {
+        let prev = entry("engine_microbench", &[("events", 1e6), ("uniform_wheel_ms", 80.0)]);
+        let cur = entry("engine_microbench", &[("events", 2e5), ("uniform_wheel_ms", 500.0)]);
+        // Different event counts: the absolute timing is not comparable.
+        assert!(check_regression(&prev, &cur, 10.0).is_empty());
+    }
+}

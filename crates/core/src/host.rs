@@ -25,9 +25,10 @@ use std::time::{Duration, Instant};
 
 use atos_queue::counter::CounterQueue;
 // The sync facade makes this whole backend model-checkable: under
-// `--cfg atos_check` every atomic, thread spawn, and yield below runs on
-// the atos-check shadow runtime instead of std (see `atos_queue::sync`).
-use atos_queue::sync::{thread, AtomicI64, AtomicU64, Ordering};
+// `--cfg atos_check` every atomic, thread spawn, yield, spin hint, and
+// timed park below runs on the atos-check shadow runtime instead of std
+// (see `atos_queue::sync`).
+use atos_queue::sync::{hint, thread, AtomicI64, AtomicU64, Ordering};
 use atos_queue::{ContentionSnapshot, PopState};
 
 /// An application executable by the host backend. State is shared across
@@ -87,6 +88,90 @@ pub struct HostStats {
     /// queue: pop-reservation overshoots and occupancy high-water marks
     /// (CAS retries stay zero — the backend uses the counter queue).
     pub contention: ContentionSnapshot,
+    /// Idle rounds every worker spent in the spin tier (cheap busy-wait,
+    /// keeps caches and the pop fast-path hot for sub-µs arrivals).
+    pub idle_spin_rounds: u64,
+    /// Idle rounds spent in the yield tier (give the core to a runnable
+    /// sibling without sleeping).
+    pub idle_yield_rounds: u64,
+    /// Idle rounds spent in the timed-park tier (sustained idleness: stop
+    /// burning the core; arrival latency is bounded by the park timeout).
+    pub idle_park_rounds: u64,
+}
+
+/// Per-run shared accumulators for the idle-backoff tier counters.
+/// Workers keep thread-local tallies and merge them here once, at exit.
+#[derive(Default)]
+struct IdleCounters {
+    spins: AtomicU64,
+    yields: AtomicU64,
+    parks: AtomicU64,
+}
+
+/// Consecutive empty polls a worker tolerates in the spin tier before
+/// escalating to yields.
+const IDLE_SPIN_ROUNDS: u32 = 64;
+/// Further empty polls tolerated in the yield tier before parking.
+const IDLE_YIELD_ROUNDS: u32 = 64;
+/// Busy-wait hints issued per spin round (one poll of both queues costs
+/// roughly this much, so the spin tier re-polls at queue-latency pace).
+const IDLE_SPINS_PER_ROUND: u32 = 32;
+/// Timed-park duration once a worker reaches the deepest tier. Short
+/// enough to bound wake-up latency for late arrivals, long enough that a
+/// quiescing run stops consuming its cores.
+const IDLE_PARK: Duration = Duration::from_micros(50);
+
+/// Tiered idle backoff: spin → yield → short timed park, escalating with
+/// the length of the current empty-poll streak and resetting the moment a
+/// pop succeeds. Tallies stay thread-local; the worker merges them into
+/// the shared [`IdleCounters`] once, on exit (cold path).
+struct IdleBackoff {
+    streak: u32,
+    spins: u64,
+    yields: u64,
+    parks: u64,
+}
+
+impl IdleBackoff {
+    fn new() -> Self {
+        IdleBackoff {
+            streak: 0,
+            spins: 0,
+            yields: 0,
+            parks: 0,
+        }
+    }
+
+    /// One empty poll: wait according to the current tier, then escalate.
+    #[inline]
+    fn wait(&mut self) {
+        if self.streak < IDLE_SPIN_ROUNDS {
+            for _ in 0..IDLE_SPINS_PER_ROUND {
+                hint::spin_loop();
+            }
+            self.spins += 1;
+        } else if self.streak < IDLE_SPIN_ROUNDS + IDLE_YIELD_ROUNDS {
+            thread::yield_now();
+            self.yields += 1;
+        } else {
+            thread::park_timeout(IDLE_PARK);
+            self.parks += 1;
+        }
+        self.streak = self.streak.saturating_add(1);
+    }
+
+    /// Work arrived: drop back to the cheapest tier.
+    #[inline]
+    fn reset(&mut self) {
+        self.streak = 0;
+    }
+
+    /// Fold this worker's tallies into the run-wide counters.
+    fn merge_into(&self, totals: &IdleCounters) {
+        totals.spins.fetch_add(self.spins, Ordering::Relaxed);
+        totals.yields.fetch_add(self.yields, Ordering::Relaxed);
+        totals.parks.fetch_add(self.parks, Ordering::Relaxed);
+    }
 }
 
 struct PeQueues<T> {
@@ -100,6 +185,7 @@ struct WorkerCtx<'a, A: HostApplication> {
     queues: &'a [PeQueues<A::Task>],
     outstanding: &'a AtomicI64,
     remote_pushes: &'a AtomicU64,
+    idle: &'a IdleCounters,
     cfg: HostConfig,
 }
 
@@ -119,6 +205,7 @@ fn arena_exhausted() -> ! {
 fn worker<A: HostApplication>(ctx: &WorkerCtx<'_, A>, pe: usize, tasks_ctr: &AtomicU64) {
     let mut recv_state = PopState::new();
     let mut local_state = PopState::new();
+    let mut backoff = IdleBackoff::new();
     // One-time per-thread setup; the loop below never allocates.
     let mut batch: Vec<A::Task> = Vec::with_capacity(ctx.cfg.fetch);
     loop {
@@ -142,9 +229,10 @@ fn worker<A: HostApplication>(ctx: &WorkerCtx<'_, A>, pe: usize, tasks_ctr: &Ato
                 local_state.abandon();
                 break;
             }
-            thread::yield_now();
+            backoff.wait();
             continue;
         }
+        backoff.reset();
         tasks_ctr.fetch_add(got as u64, Ordering::Relaxed);
         for &task in &batch[..got] {
             let mut push = |dst: usize, t: A::Task| {
@@ -165,6 +253,7 @@ fn worker<A: HostApplication>(ctx: &WorkerCtx<'_, A>, pe: usize, tasks_ctr: &Ato
             ctx.outstanding.fetch_sub(1, Ordering::Release);
         }
     }
+    backoff.merge_into(ctx.idle);
 }
 
 /// Execute `app` to global quiescence. `seeds[pe]` are the initial tasks
@@ -184,6 +273,7 @@ pub fn run_host<A: HostApplication>(
         .collect();
     let outstanding = AtomicI64::new(0);
     let remote_pushes = AtomicU64::new(0);
+    let idle = IdleCounters::default();
     let tasks_per_pe: Vec<AtomicU64> = (0..cfg.n_pes).map(|_| AtomicU64::new(0)).collect();
 
     for (pe, tasks) in seeds.iter().enumerate() {
@@ -200,6 +290,7 @@ pub fn run_host<A: HostApplication>(
         queues: &queues,
         outstanding: &outstanding,
         remote_pushes: &remote_pushes,
+        idle: &idle,
         cfg,
     };
     thread::scope(|s| {
@@ -223,6 +314,9 @@ pub fn run_host<A: HostApplication>(
         tasks_per_pe: tasks_per_pe.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
         remote_pushes: remote_pushes.load(Ordering::Relaxed),
         contention,
+        idle_spin_rounds: idle.spins.load(Ordering::Relaxed),
+        idle_yield_rounds: idle.yields.load(Ordering::Relaxed),
+        idle_park_rounds: idle.parks.load(Ordering::Relaxed),
     }
 }
 
@@ -269,6 +363,32 @@ mod tests {
         // counter backend never spins on CAS.
         assert!(stats.contention.occupancy_hwm >= 1);
         assert_eq!(stats.contention.cas_retries, 0);
+        // A single token hopping across 3 PEs leaves five of the six
+        // workers idle-polling: the backoff tiers must have engaged.
+        assert!(
+            stats.idle_spin_rounds + stats.idle_yield_rounds + stats.idle_park_rounds > 0,
+            "idle workers should have recorded backoff rounds: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn idle_backoff_escalates_through_tiers_and_resets() {
+        let mut b = IdleBackoff::new();
+        for _ in 0..(IDLE_SPIN_ROUNDS + IDLE_YIELD_ROUNDS + 5) {
+            b.wait();
+        }
+        assert_eq!(b.spins, IDLE_SPIN_ROUNDS as u64);
+        assert_eq!(b.yields, IDLE_YIELD_ROUNDS as u64);
+        assert_eq!(b.parks, 5);
+        // A successful pop drops back to the cheapest tier.
+        b.reset();
+        b.wait();
+        assert_eq!(b.spins, IDLE_SPIN_ROUNDS as u64 + 1);
+        assert_eq!(b.parks, 5);
+        let totals = IdleCounters::default();
+        b.merge_into(&totals);
+        assert_eq!(totals.spins.load(Ordering::Relaxed), b.spins);
+        assert_eq!(totals.parks.load(Ordering::Relaxed), 5);
     }
 
     /// Fan-out tree: each task spawns `width` children until depth 0;

@@ -44,6 +44,16 @@ pub struct RunStats {
     pub ev_arrivals: u64,
     /// Aggregator-poll events dispatched by the engine.
     pub ev_agg_polls: u64,
+    /// Message arrivals merged into an immediately preceding arrival with
+    /// the same `(dst, deliver_time)` — engine events saved by coalescing.
+    pub coalesced_arrivals: u64,
+    /// Redundant aggregator wakeups avoided: flush windows that would
+    /// have scheduled a timer per buffered destination but found one
+    /// already pending for the PE.
+    pub agg_poll_coalesced: u64,
+    /// Aggregator polls that fired and found nothing due (every buffer
+    /// they were armed for had already flushed on the size trigger).
+    pub agg_poll_idle: u64,
     /// High-water mark of simultaneously pending simulator events.
     pub peak_pending_events: u64,
     /// Simulator events processed during the run (scheduling steps,
@@ -129,6 +139,9 @@ impl RunStats {
         reg.set("agg.flushes_age", self.agg_flushes_age);
         reg.set("agg.flushed_tasks", self.agg_flushed_tasks);
         reg.set("agg.flushed_bytes", self.agg_flushed_bytes);
+        reg.set("agg.poll_coalesced", self.agg_poll_coalesced);
+        reg.set("agg.poll_idle", self.agg_poll_idle);
+        reg.set("engine.coalesced_arrivals", self.coalesced_arrivals);
         reg.set("engine.events", self.sim_events);
         reg.set("engine.ev_steps", self.ev_steps);
         reg.set("engine.ev_arrivals", self.ev_arrivals);

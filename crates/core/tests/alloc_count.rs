@@ -151,33 +151,42 @@ fn steady_state_send_paths_do_not_allocate_per_task() {
         during < 2_000,
         "NullTracer: {during} allocations for {HOPS} messages (disabled tracing must not allocate)"
     );
+
+    // Steady-state engine churn: after warm-up, the timing wheel's
+    // schedule→pop cycle recycles arena slots, bucket vectors, and heap
+    // storage — zero allocations, exactly (not a budget).
+    let mut e: atos_sim::Engine<u64> = atos_sim::Engine::with_capacity(1024);
+    for i in 0..512u64 {
+        e.schedule_at(i * 173 % 50_000, i);
+    }
+    // Warm-up: cycle long enough that every bucket, the imminent heap,
+    // and the far heap reach their steady capacities. The delta mix keeps
+    // events flowing through all three structures (level 0, level 1, far).
+    let churn = |e: &mut atos_sim::Engine<u64>, rounds: u64| {
+        for _ in 0..rounds {
+            let (t, v) = e.pop().unwrap();
+            let delta = if v % 3 == 0 {
+                (v % 70) * 100_000 // up to 7 ms: level 1 / far heap
+            } else {
+                v % 7_000 // level 0
+            };
+            e.schedule_at(t + delta, v);
+        }
+    };
+    churn(&mut e, 20_000);
+    let before = alloc_calls();
+    churn(&mut e, 50_000);
+    let during = alloc_calls() - before;
+    assert_eq!(e.pending(), 512);
+    assert_eq!(
+        during, 0,
+        "steady-state engine churn must not allocate (schedule→pop is arena-recycled)"
+    );
 }
 
-/// Every `#[atos_hot]` function in the runtime must be exercised by one of
-/// the counted scenarios in this file, so the allocation budget actually
-/// covers the whole annotated hot path (`atos-lint` checks the annotated
-/// functions statically; this test keeps the dynamic guard aligned).
-/// Annotating a new runtime function fails this test until a counted
-/// scenario exercises it and the map below records which one.
-#[test]
-fn every_hot_runtime_fn_is_covered_by_a_counted_scenario() {
-    const COVERED: &[(&str, &str)] = &[
-        ("note_queue_depth", "both relays: depth accounting on every push/pop"),
-        ("wake", "both relays: remote arrivals wake the idle peer PE"),
-        ("step", "both relays: every scheduling step"),
-        ("absorb_local", "both relays: emitter drain after each step"),
-        ("dispatch_remote", "both relays: every hop is a remote push"),
-        ("flush_bundle", "aggregated relay: age trigger flushes each bundle"),
-        ("route", "both relays: fabric routing for every message"),
-        ("arrive", "both relays: message delivery at the destination PE"),
-        ("schedule_agg_poll", "aggregated relay: poll armed per open bundle"),
-        ("agg_poll", "aggregated relay: age-trigger poll per bundle"),
-    ];
-
-    let src = std::fs::read_to_string(
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/runtime.rs"),
-    )
-    .expect("read runtime.rs");
+/// Extract the names of `#[atos_hot]`-annotated functions from a source
+/// file (same shape the `atos-lint` hot-path rule keys on).
+fn hot_fns(src: &str) -> Vec<String> {
     let mut hot: Vec<String> = Vec::new();
     let mut pending_hot = false;
     for line in src.lines() {
@@ -198,11 +207,56 @@ fn every_hot_runtime_fn_is_covered_by_a_counted_scenario() {
         }
     }
     hot.sort();
+    hot
+}
+
+/// Every `#[atos_hot]` function in the runtime and the engine must be
+/// exercised by one of the counted scenarios in this file, so the
+/// allocation budget actually covers the whole annotated hot path
+/// (`atos-lint` checks the annotated functions statically; this test keeps
+/// the dynamic guard aligned). Annotating a new function fails this test
+/// until a counted scenario exercises it and the maps below record which.
+#[test]
+fn every_hot_runtime_fn_is_covered_by_a_counted_scenario() {
+    const COVERED: &[(&str, &str)] = &[
+        ("note_queue_depth", "both relays: depth accounting on every push/pop"),
+        ("wake", "both relays: remote arrivals wake the idle peer PE"),
+        ("step", "both relays: every scheduling step"),
+        ("absorb_local", "both relays: emitter drain after each step"),
+        ("dispatch_remote", "both relays: every hop is a remote push"),
+        ("flush_bundle", "aggregated relay: age trigger flushes each bundle"),
+        ("route", "both relays: fabric routing for every message"),
+        ("arrive", "both relays: message delivery at the destination PE"),
+        ("stage_arrival", "both relays: every arrival staged (merge check per message)"),
+        ("schedule_agg_poll", "aggregated relay: poll armed per open bundle"),
+        ("agg_poll", "aggregated relay: age-trigger poll per bundle"),
+    ];
+    const COVERED_ENGINE: &[(&str, &str)] = &[
+        ("schedule_at", "engine churn scenario + every relay event"),
+        ("pop", "engine churn scenario + both relays' event loops"),
+    ];
+
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let runtime_src = std::fs::read_to_string(manifest.join("src/runtime.rs"))
+        .expect("read runtime.rs");
+    let engine_src = std::fs::read_to_string(manifest.join("../sim/src/engine.rs"))
+        .expect("read engine.rs");
+
     let mut covered: Vec<&str> = COVERED.iter().map(|(n, _)| *n).collect();
     covered.sort();
     assert_eq!(
-        hot, covered,
+        hot_fns(&runtime_src),
+        covered,
         "the #[atos_hot] set in runtime.rs and the counted-scenario map in \
+         this test must stay in sync"
+    );
+
+    let mut covered_engine: Vec<&str> = COVERED_ENGINE.iter().map(|(n, _)| *n).collect();
+    covered_engine.sort();
+    assert_eq!(
+        hot_fns(&engine_src),
+        covered_engine,
+        "the #[atos_hot] set in engine.rs and the counted-scenario map in \
          this test must stay in sync"
     );
 }

@@ -116,6 +116,25 @@ impl Config {
                         "flush_bundle",
                         "route",
                         "arrive",
+                        "stage_arrival",
+                    ],
+                    forbid_index: false,
+                },
+                KernelScope {
+                    // The timing wheel's schedule→pop protocol: every
+                    // simulated event funnels through these. Failure paths
+                    // are outlined (`empty_slot_popped`) or debug-asserted.
+                    file_suffix: "crates/sim/src/engine.rs",
+                    fns: &[
+                        "schedule_at",
+                        "pop",
+                        "place",
+                        "arena_insert",
+                        "advance",
+                        "drain_l0_bucket",
+                        "cascade_l1_bucket",
+                        "cascade_l2_bucket",
+                        "jump_to_far",
                     ],
                     forbid_index: false,
                 },

@@ -70,7 +70,9 @@ mod imp {
 
     /// Threading primitives.
     pub mod thread {
-        pub use std::thread::{scope, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle};
+        pub use std::thread::{
+            park_timeout, scope, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle,
+        };
     }
 }
 
@@ -90,6 +92,14 @@ mod imp {
         pub use atos_check::thread::{
             scope, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle,
         };
+
+        /// Model-scheduled stand-in for `std::thread::park_timeout`: a
+        /// timed park may wake spuriously at any point, so a scheduler
+        /// yield is a sound model — the checker stays free to schedule
+        /// the parked thread whenever it chooses.
+        pub fn park_timeout(_dur: core::time::Duration) {
+            yield_now();
+        }
     }
 }
 

@@ -98,3 +98,113 @@ proptest! {
         prop_assert!(m.step_ns(tasks, edges + 100, span, false) >= t);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Heap-vs-wheel equivalence oracle: the retired binary-heap engine
+// (`engine::reference::HeapEngine`) defines the semantics; the timing wheel
+// must pop the exact same `(time, event)` sequence for any schedule.
+// ---------------------------------------------------------------------------
+
+use atos_sim::engine::reference::HeapEngine;
+
+/// Expand a `(scale, raw)` pair into a timestamp. Scales stride the wheel's
+/// structure: 0 lands in the level-0/level-1 windows, 1–2 exercise cascades,
+/// 3 forces far-heap jumps across empty horizons.
+fn scaled_time(scale: u32, raw: u64) -> u64 {
+    raw << (12 * (scale % 4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Identical pop sequences over schedules spanning every wheel level.
+    #[test]
+    fn wheel_matches_heap_on_random_schedules(
+        times in proptest::collection::vec((0u32..4, 0u64..10_000), 1..400),
+    ) {
+        let mut wheel = Engine::new();
+        let mut heap = HeapEngine::new();
+        for (i, &(scale, raw)) in times.iter().enumerate() {
+            let t = scaled_time(scale, raw);
+            wheel.schedule_at(t, i);
+            heap.schedule_at(t, i);
+        }
+        loop {
+            let (a, b) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(wheel.now(), heap.now());
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(wheel.pending(), 0);
+    }
+
+    /// Equal-time bursts: tiny time domain maximizes ties, so ordering is
+    /// dominated by the sequence-number tie-break.
+    #[test]
+    fn wheel_matches_heap_on_equal_time_bursts(
+        times in proptest::collection::vec(0u64..8, 1..250),
+    ) {
+        let mut wheel = Engine::new();
+        let mut heap = HeapEngine::new();
+        for (i, &t) in times.iter().enumerate() {
+            wheel.schedule_at(t, i);
+            heap.schedule_at(t, i);
+        }
+        while let Some(got) = wheel.pop() {
+            prop_assert_eq!(Some(got), heap.pop());
+        }
+        prop_assert_eq!(heap.pop(), None);
+    }
+
+    /// Pop-interleaved scheduling: handlers scheduling relative to the
+    /// advancing clock (including past times, which clamp) must stay in
+    /// lockstep with the oracle.
+    #[test]
+    fn wheel_matches_heap_with_interleaved_pops(
+        ops in proptest::collection::vec((0u32..4, 0u64..1_000, 0u32..3), 1..200),
+    ) {
+        let mut wheel = Engine::new();
+        let mut heap = HeapEngine::new();
+        let mut id = 0usize;
+        for &(scale, raw, n) in ops.iter() {
+            let delta = scaled_time(scale, raw);
+            for _ in 0..=n {
+                wheel.schedule_in(delta, id);
+                heap.schedule_in(delta, id);
+                id += 1;
+            }
+            prop_assert_eq!(wheel.pop(), heap.pop());
+            prop_assert_eq!(wheel.now(), heap.now());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+        }
+        while let Some(got) = wheel.pop() {
+            prop_assert_eq!(Some(got), heap.pop());
+        }
+        prop_assert_eq!(heap.pop(), None);
+        prop_assert_eq!(wheel.processed(), heap.processed());
+        prop_assert_eq!(wheel.max_pending(), heap.max_pending());
+    }
+
+    /// The sorted-batch fast path is behaviorally identical to the oracle
+    /// scheduling one event at a time.
+    #[test]
+    fn sorted_batch_matches_heap_oracle(
+        times in proptest::collection::vec((0u32..4, 0u64..10_000), 1..300),
+    ) {
+        let mut sorted: Vec<u64> =
+            times.iter().map(|&(s, r)| scaled_time(s, r)).collect();
+        sorted.sort_unstable();
+        let mut wheel = Engine::new();
+        let mut heap = HeapEngine::new();
+        wheel.schedule_sorted_batch(sorted.iter().copied().enumerate().map(|(i, t)| (t, i)));
+        for (i, &t) in sorted.iter().enumerate() {
+            heap.schedule_at(t, i);
+        }
+        while let Some(got) = wheel.pop() {
+            prop_assert_eq!(Some(got), heap.pop());
+        }
+        prop_assert_eq!(heap.pop(), None);
+    }
+}

@@ -20,7 +20,7 @@ echo "== parallel sweep smoke (--quick --threads 2, byte-identity vs serial) =="
 cargo build --release --workspace --bins -q
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
-for bin in table2_bfs_nvlink table5_ib; do
+for bin in table2_bfs_nvlink table5_ib fig5_scaling_nvlink; do
     ./target/release/"$bin" --quick --threads 1 --json "$tmp/sweep.json" \
         > "$tmp/$bin.serial.out" 2> /dev/null
     ./target/release/"$bin" --quick --threads 2 --json "$tmp/sweep.json" \
@@ -37,6 +37,38 @@ grep -q '"table2_bfs_nvlink"' "$tmp/sweep.json" || {
     exit 1
 }
 echo "ok: sweep timing report written"
+# --run-id keys the entry as <binary>@<id> so histories accumulate.
+./target/release/table2_bfs_nvlink --quick --threads 1 --json "$tmp/sweep.json" \
+    --run-id "verify@smoke" > /dev/null 2> /dev/null
+grep -q '"table2_bfs_nvlink@verify@smoke"' "$tmp/sweep.json" || {
+    echo "FAIL: --run-id did not key the sweep report entry" >&2
+    exit 1
+}
+echo "ok: --run-id keys sweep report entries"
+
+echo
+echo "== golden byte-compare (committed quick outputs pin determinism) =="
+for pair in "fig5_scaling_nvlink:results/fig5_quick.txt" "table5_ib:results/table5_quick.txt"; do
+    bin="${pair%%:*}"; golden="${pair#*:}"
+    if ! cmp -s "$tmp/$bin.serial.out" "$golden"; then
+        echo "FAIL: $bin --quick output differs from committed $golden" >&2
+        diff "$tmp/$bin.serial.out" "$golden" | head >&2
+        exit 1
+    fi
+    echo "ok: $bin --quick matches $golden byte-for-byte"
+done
+
+echo
+echo "== bench trajectory (engine microbench + e2e smoke, regression gate) =="
+# Re-measures the wheel-vs-heap microbench and the fig5/fig8 quick
+# workloads, then gates against the last committed entries in
+# results/BENCH_trajectory.json. Thresholds are loose (shared hosts are
+# noisy); the wheel-vs-heap ratio is load-relative and therefore stable.
+./target/release/bench_trajectory \
+    --sha "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    --stamp "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --samples 3 --min-speedup 1.5 --deny-regression 60
+echo "ok: trajectory gate passed"
 
 echo
 echo "== observability smoke (--trace / --metrics artifacts) =="
