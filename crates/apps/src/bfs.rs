@@ -8,7 +8,15 @@
 //!   improved (`F.depth_update_local` + `push_local`);
 //! * remote neighbor — emit `(w, d+1)` to the owner, whose receive path
 //!   applies the one-sided atomicMin and enqueues only improvements
-//!   (`depth_update_remote` + `push_remote`).
+//!   (`depth_update_remote` + `push_remote`). The atomic executes at the
+//!   *target* memory when the message lands — exactly the semantics of a
+//!   one-sided RDMA fetch-min, whose effect becomes visible at the remote
+//!   HCA on packet arrival, not at the sender's issue point. The sender
+//!   keeps a per-PE *mirror* of its best depth offer per remote vertex so
+//!   it never re-sends a non-improving update; the mirror is private to
+//!   the sending PE, which is what lets the sharded runtime
+//!   (`run_bfs_sharded`) fork PEs across threads and stay byte-identical
+//!   to the sequential engine.
 //!
 //! Speculation and redundant work: out-of-order processing can visit a
 //! vertex more than once before its depth settles. The priority-queue
@@ -18,7 +26,10 @@
 
 use std::sync::Arc;
 
-use atos_core::{Application, AtosConfig, Emitter, NullTracer, RunStats, Runtime, RuntimeTuning, Tracer};
+use atos_core::{
+    Application, AtosConfig, Emitter, NullTracer, RunStats, Runtime, RuntimeTuning, ShardableApp,
+    Tracer,
+};
 use atos_graph::csr::{Csr, VertexId};
 use atos_graph::partition::Partition;
 use atos_graph::reference::UNREACHED;
@@ -28,8 +39,15 @@ use atos_sim::Fabric;
 pub struct BfsApp {
     graph: Arc<Csr>,
     partition: Arc<Partition>,
-    /// Current best depth per vertex (`u32::MAX` = unreached).
+    /// Current best depth per vertex (`u32::MAX` = unreached). Owned
+    /// entries are authoritative; an entry owned by another PE is only
+    /// ever read/written by its owner (`process` local relaxations and
+    /// `on_receive` remote ones).
     pub depth: Vec<u32>,
+    /// `mirror[pe][w]`: the best depth PE `pe` has *sent* for remote
+    /// vertex `w` — the sender-side duplicate-suppression filter. Private
+    /// to `pe`, so sharded execution partitions it cleanly.
+    mirror: Vec<Vec<u32>>,
     source: VertexId,
 }
 
@@ -42,8 +60,9 @@ impl BfsApp {
         depth[source as usize] = 0;
         BfsApp {
             graph,
-            partition,
+            partition: partition.clone(),
             depth,
+            mirror: vec![vec![UNREACHED; n]; partition.n_parts()],
             source,
         }
     }
@@ -76,13 +95,14 @@ impl Application for BfsApp {
                     self.depth[w as usize] = nd;
                     out.push_local((w, nd));
                 }
-            } else if nd < self.depth[w as usize] {
-                // The paper's sender-side one-sided RDMA atomicMin
-                // (Listing 5): `if (atomicMin(depth+neighbor, d+1, pe) >
-                // d+1) push_warp(neighbor, pe)`. The fetching atomic takes
-                // effect at the remote memory when issued, and only an
-                // improving update triggers the remote queue push.
-                self.depth[w as usize] = nd;
+            } else if nd < self.mirror[pe][w as usize] {
+                // The paper's one-sided RDMA atomicMin (Listing 5):
+                // `if (atomicMin(depth+neighbor, d+1, pe) > d+1)
+                // push_warp(neighbor, pe)`. The atomic takes effect at the
+                // remote memory on arrival (`on_receive`); the sender's
+                // private mirror suppresses offers that cannot improve on
+                // what this PE already sent.
+                self.mirror[pe][w as usize] = nd;
                 out.push(owner, (w, nd));
             }
         }
@@ -90,10 +110,12 @@ impl Application for BfsApp {
 
     fn on_receive(&mut self, pe: usize, (w, nd): Self::Task) -> Option<Self::Task> {
         debug_assert_eq!(self.partition.owner(w), pe);
-        // The sender's remote atomicMin already updated `depth[w]`; the
-        // arriving push enqueues the vertex unless a better update landed
-        // in the meantime (whose own push will supersede this one).
-        if nd <= self.depth[w as usize] {
+        // The one-sided atomicMin lands here, at the owner's memory: apply
+        // it and enqueue the vertex only if it improved (a non-improving
+        // arrival was superseded by an earlier, better update whose own
+        // push carries the wavefront).
+        if nd < self.depth[w as usize] {
+            self.depth[w as usize] = nd;
             Some((w, nd))
         } else {
             None
@@ -110,6 +132,32 @@ impl Application for BfsApp {
 
     fn task_bytes(&self) -> u64 {
         8 // vertex id + depth, two u32s
+    }
+}
+
+impl ShardableApp for BfsApp {
+    fn fork(&self, _lo: usize, _hi: usize) -> Self {
+        BfsApp {
+            graph: self.graph.clone(),
+            partition: self.partition.clone(),
+            depth: self.depth.clone(),
+            mirror: self.mirror.clone(),
+            source: self.source,
+        }
+    }
+
+    fn join(&mut self, shard: Self, lo: usize, hi: usize) {
+        // Authoritative state: every vertex owned by the shard's PEs.
+        for (v, d) in shard.depth.into_iter().enumerate() {
+            let owner = self.partition.owner(v as VertexId);
+            if (lo..hi).contains(&owner) {
+                self.depth[v] = d;
+            }
+        }
+        // Send-side filters: private to each PE, adopted wholesale.
+        for (pe, row) in shard.mirror.into_iter().enumerate().take(hi).skip(lo) {
+            self.mirror[pe] = row;
+        }
     }
 }
 
@@ -155,6 +203,34 @@ pub fn run_bfs_traced(
     tracer: &mut dyn Tracer,
 ) -> BfsRun {
     run_bfs_on(graph, partition, source, fabric, cfg, tracer)
+}
+
+/// Run asynchronous BFS on `shards` parallel engine shards
+/// (`Runtime::run_sharded`): PEs are partitioned across per-shard timing
+/// wheels stepped on OS threads, synchronized by conservative lookahead.
+/// The result — depths, stats, virtual times — is byte-identical to
+/// [`run_bfs`]; only host wall-clock changes.
+pub fn run_bfs_sharded(
+    graph: Arc<Csr>,
+    partition: Arc<Partition>,
+    source: VertexId,
+    fabric: Fabric,
+    cfg: AtosConfig,
+    shards: usize,
+) -> BfsRun {
+    assert_eq!(partition.n_parts(), fabric.n_pes(), "partition/fabric size");
+    let app = BfsApp::new(graph, partition.clone(), source);
+    let cost = atos_sim::GpuCostModel::v100();
+    let mut rt = Runtime::with_cost_model(app, fabric, cfg, cost);
+    rt.seed(partition.owner(source), [(source, 0u32)]);
+    let stats = rt.run_sharded(shards);
+    let app = rt.into_app();
+    let reachable = app.reached() as u64;
+    BfsRun {
+        stats,
+        depth: app.depth,
+        reachable,
+    }
 }
 
 fn run_bfs_on<Tr: Tracer>(
@@ -370,6 +446,31 @@ mod tests {
         assert_eq!(plain.stats.messages, traced.stats.messages);
         assert!(!buf.is_empty(), "tracer saw the run");
         assert!(buf.events_named("step").len() as u64 >= traced.stats.steps_per_pe.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn sharded_runs_are_byte_identical_to_sequential() {
+        // The tentpole invariant, at the application level: K-shard
+        // parallel simulation must reproduce the sequential engine's
+        // depths AND virtual-time stats exactly, on both fabrics.
+        let p = Preset::by_name("hollywood_2009_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let src = p.bfs_source(&g);
+        for (fabric, cfg) in [
+            (Fabric::daisy(4), AtosConfig::standard_persistent()),
+            (Fabric::ib_cluster(4), AtosConfig::ib_bfs()),
+        ] {
+            let part = Arc::new(Partition::random(g.n_vertices(), 4, 5));
+            let seq = run_bfs(g.clone(), part.clone(), src, fabric.clone(), cfg);
+            for k in [2, 4] {
+                let sh = run_bfs_sharded(g.clone(), part.clone(), src, fabric.clone(), cfg, k);
+                assert_eq!(sh.depth, seq.depth, "k={k} depths");
+                assert_eq!(sh.stats.elapsed_ns, seq.stats.elapsed_ns, "k={k} time");
+                assert_eq!(sh.stats.messages, seq.stats.messages, "k={k} messages");
+                assert_eq!(sh.stats.tasks_per_pe, seq.stats.tasks_per_pe, "k={k} tasks");
+                assert_eq!(sh.stats.sim_events, seq.stats.sim_events, "k={k} events");
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use atos_core::{Application, AtosConfig, Emitter, RunStats, Runtime};
+use atos_core::{Application, AtosConfig, Emitter, RunStats, Runtime, ShardableApp};
 use atos_graph::csr::{Csr, VertexId};
 use atos_graph::partition::Partition;
 use atos_sim::Fabric;
@@ -20,8 +20,12 @@ use atos_sim::Fabric;
 pub struct CcApp {
     graph: Arc<Csr>,
     partition: Arc<Partition>,
-    /// Current best (minimum) component label per vertex.
+    /// Current best (minimum) component label per vertex. Owned entries
+    /// are authoritative; non-owned entries only change via their owner.
     pub label: Vec<u32>,
+    /// `mirror[pe][w]`: best label PE `pe` has sent for remote vertex `w`
+    /// (sender-side duplicate suppression, private per PE).
+    mirror: Vec<Vec<u32>>,
 }
 
 impl CcApp {
@@ -31,8 +35,9 @@ impl CcApp {
         assert_eq!(partition.n_vertices(), n);
         CcApp {
             graph,
-            partition,
+            partition: partition.clone(),
             label: (0..n as u32).collect(),
+            mirror: vec![vec![u32::MAX; n]; partition.n_parts()],
         }
     }
 
@@ -53,16 +58,26 @@ impl Application for CcApp {
         debug_assert_eq!(self.partition.owner(v), pe);
         let l = self.label[v as usize];
         for &w in self.graph.neighbors(v) {
-            if l < self.label[w as usize] {
-                self.label[w as usize] = l;
-                out.push(self.partition.owner(w), (w, l));
+            let owner = self.partition.owner(w);
+            if owner == pe {
+                if l < self.label[w as usize] {
+                    self.label[w as usize] = l;
+                    out.push(pe, (w, l));
+                }
+            } else if l < self.mirror[pe][w as usize] {
+                // One-sided min-label push, applied at the owner on
+                // arrival; the private mirror keeps each PE from
+                // re-offering labels it already sent.
+                self.mirror[pe][w as usize] = l;
+                out.push(owner, (w, l));
             }
         }
     }
 
     fn on_receive(&mut self, pe: usize, (w, l): Self::Task) -> Option<Self::Task> {
         debug_assert_eq!(self.partition.owner(w), pe);
-        if l <= self.label[w as usize] {
+        if l < self.label[w as usize] {
+            self.label[w as usize] = l;
             Some((w, l))
         } else {
             None
@@ -84,6 +99,29 @@ impl Application for CcApp {
     }
 }
 
+impl ShardableApp for CcApp {
+    fn fork(&self, _lo: usize, _hi: usize) -> Self {
+        CcApp {
+            graph: self.graph.clone(),
+            partition: self.partition.clone(),
+            label: self.label.clone(),
+            mirror: self.mirror.clone(),
+        }
+    }
+
+    fn join(&mut self, shard: Self, lo: usize, hi: usize) {
+        for (v, l) in shard.label.into_iter().enumerate() {
+            let owner = self.partition.owner(v as VertexId);
+            if (lo..hi).contains(&owner) {
+                self.label[v] = l;
+            }
+        }
+        for (pe, row) in shard.mirror.into_iter().enumerate().take(hi).skip(lo) {
+            self.mirror[pe] = row;
+        }
+    }
+}
+
 /// Result of one CC run.
 #[derive(Debug, Clone)]
 pub struct CcRun {
@@ -102,9 +140,20 @@ pub fn run_cc(
     fabric: Fabric,
     cfg: AtosConfig,
 ) -> CcRun {
+    run_cc_sharded(graph, partition, fabric, cfg, 1)
+}
+
+/// [`run_cc`] on `shards` parallel engine shards — byte-identical
+/// results, parallel host execution.
+pub fn run_cc_sharded(
+    graph: Arc<Csr>,
+    partition: Arc<Partition>,
+    fabric: Fabric,
+    cfg: AtosConfig,
+    shards: usize,
+) -> CcRun {
     assert_eq!(partition.n_parts(), fabric.n_pes());
-    let n = graph.n_vertices();
-    let app = CcApp::new(graph, partition.clone(), );
+    let app = CcApp::new(graph, partition.clone());
     let mut rt = Runtime::new(app, fabric, cfg);
     for pe in 0..partition.n_parts() {
         let seeds: Vec<(VertexId, u32)> = partition
@@ -114,8 +163,7 @@ pub fn run_cc(
             .collect();
         rt.seed(pe, seeds);
     }
-    let _ = n;
-    let stats = rt.run();
+    let stats = rt.run_sharded(shards);
     let app = rt.into_app();
     let components = app.component_count();
     CcRun {
@@ -176,6 +224,21 @@ mod tests {
             prio.stats.total_tasks(),
             fifo.stats.total_tasks()
         );
+    }
+
+    #[test]
+    fn sharded_runs_are_byte_identical_to_sequential() {
+        let p = Preset::by_name("osm_eur_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny).symmetrize());
+        let part = Arc::new(Partition::random(g.n_vertices(), 4, 5));
+        let cfg = AtosConfig::standard_persistent();
+        let seq = run_cc(g.clone(), part.clone(), Fabric::daisy(4), cfg);
+        for k in [2, 4] {
+            let sh = run_cc_sharded(g.clone(), part.clone(), Fabric::daisy(4), cfg, k);
+            assert_eq!(sh.label, seq.label, "k={k} labels");
+            assert_eq!(sh.stats.elapsed_ns, seq.stats.elapsed_ns, "k={k} time");
+            assert_eq!(sh.stats.tasks_per_pe, seq.stats.tasks_per_pe, "k={k} tasks");
+        }
     }
 
     #[test]

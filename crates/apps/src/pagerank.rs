@@ -20,7 +20,7 @@
 
 use std::sync::Arc;
 
-use atos_core::{Application, AtosConfig, Emitter, RunStats, Runtime};
+use atos_core::{Application, AtosConfig, Emitter, RunStats, Runtime, ShardableApp};
 use atos_graph::csr::{Csr, VertexId};
 use atos_graph::partition::Partition;
 use atos_sim::Fabric;
@@ -138,6 +138,35 @@ impl Application for PageRankApp {
     }
 }
 
+// PageRank is owner-computes by construction: `process` touches rank /
+// residue / in-queue entries of owned vertices only, and every remote
+// contribution travels as a `Contrib` task applied in `on_receive` at the
+// owner. No sender-side mirrors are needed.
+impl ShardableApp for PageRankApp {
+    fn fork(&self, _lo: usize, _hi: usize) -> Self {
+        PageRankApp {
+            graph: self.graph.clone(),
+            partition: self.partition.clone(),
+            rank: self.rank.clone(),
+            residue: self.residue.clone(),
+            in_queue: self.in_queue.clone(),
+            alpha: self.alpha,
+            epsilon: self.epsilon,
+        }
+    }
+
+    fn join(&mut self, shard: Self, lo: usize, hi: usize) {
+        for v in 0..self.rank.len() {
+            let owner = self.partition.owner(v as VertexId);
+            if (lo..hi).contains(&owner) {
+                self.rank[v] = shard.rank[v];
+                self.residue[v] = shard.residue[v];
+                self.in_queue[v] = shard.in_queue[v];
+            }
+        }
+    }
+}
+
 /// Result of one PageRank run.
 #[derive(Debug, Clone)]
 pub struct PageRankRun {
@@ -158,8 +187,21 @@ pub fn run_pagerank(
     fabric: Fabric,
     cfg: AtosConfig,
 ) -> PageRankRun {
+    run_pagerank_sharded(graph, partition, alpha, epsilon, fabric, cfg, 1)
+}
+
+/// [`run_pagerank`] on `shards` parallel engine shards — byte-identical
+/// results, parallel host execution.
+pub fn run_pagerank_sharded(
+    graph: Arc<Csr>,
+    partition: Arc<Partition>,
+    alpha: f64,
+    epsilon: f64,
+    fabric: Fabric,
+    cfg: AtosConfig,
+    shards: usize,
+) -> PageRankRun {
     assert_eq!(partition.n_parts(), fabric.n_pes(), "partition/fabric size");
-    let n = graph.n_vertices();
     let app = PageRankApp::new(graph, partition.clone(), alpha, epsilon);
     let mut rt = Runtime::new(app, fabric, cfg);
     for pe in 0..partition.n_parts() {
@@ -170,8 +212,7 @@ pub fn run_pagerank(
             .collect();
         rt.seed(pe, seeds);
     }
-    let _ = n;
-    let stats = rt.run();
+    let stats = rt.run_sharded(shards);
     let relaxations = stats.total_tasks();
     let app = rt.into_app();
     assert!(
@@ -294,6 +335,33 @@ mod tests {
             AtosConfig::standard_persistent(),
         );
         assert!(pr.stats.total_edges() > 2 * bfs.stats.total_edges());
+    }
+
+    #[test]
+    fn sharded_runs_are_byte_identical_to_sequential() {
+        // PageRank is the bandwidth-bound workload with floating-point
+        // state: bit-equal ranks require the sharded engine to replay the
+        // exact sequential arrival and relaxation order.
+        let p = Preset::by_name("soc-LiveJournal1_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let part = Arc::new(Partition::bfs_grow(&g, 4, 4));
+        let cfg = AtosConfig::ib_pagerank();
+        let seq = run_pagerank(g.clone(), part.clone(), ALPHA, EPS, Fabric::ib_cluster(4), cfg);
+        for k in [2, 4] {
+            let sh = run_pagerank_sharded(
+                g.clone(),
+                part.clone(),
+                ALPHA,
+                EPS,
+                Fabric::ib_cluster(4),
+                cfg,
+                k,
+            );
+            assert_eq!(sh.rank, seq.rank, "k={k} ranks (bit-equal floats)");
+            assert_eq!(sh.stats.elapsed_ns, seq.stats.elapsed_ns, "k={k} time");
+            assert_eq!(sh.stats.tasks_per_pe, seq.stats.tasks_per_pe, "k={k} tasks");
+            assert_eq!(sh.stats.agg_flushes, seq.stats.agg_flushes, "k={k} flushes");
+        }
     }
 
     #[test]

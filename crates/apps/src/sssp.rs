@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use atos_core::{Application, AtosConfig, Emitter, RunStats, Runtime};
+use atos_core::{Application, AtosConfig, Emitter, RunStats, Runtime, ShardableApp};
 use atos_graph::csr::{Csr, VertexId};
 use atos_graph::partition::Partition;
 use atos_graph::weights::{EdgeWeights, UNREACHED_DIST};
@@ -24,8 +24,12 @@ pub struct SsspApp {
     graph: Arc<Csr>,
     weights: Arc<EdgeWeights>,
     partition: Arc<Partition>,
-    /// Tentative distance per vertex.
+    /// Tentative distance per vertex. Owned entries are authoritative;
+    /// non-owned entries are only touched by their owner.
     pub dist: Vec<u64>,
+    /// `mirror[pe][w]`: best distance PE `pe` has sent for remote vertex
+    /// `w` (sender-side duplicate suppression, private per PE).
+    mirror: Vec<Vec<u64>>,
     /// Delta-stepping bucket width for the priority queue.
     pub delta: u64,
     source: VertexId,
@@ -47,8 +51,9 @@ impl SsspApp {
         SsspApp {
             graph,
             weights,
-            partition,
+            partition: partition.clone(),
             dist,
+            mirror: vec![vec![UNREACHED_DIST; n]; partition.n_parts()],
             delta: delta.max(1),
             source,
         }
@@ -70,18 +75,27 @@ impl Application for SsspApp {
         debug_assert_ne!(d, UNREACHED_DIST);
         for (&w, &wt) in self.graph.neighbors(v).iter().zip(self.weights.of(v)) {
             let nd = d + wt as u64;
-            if nd < self.dist[w as usize] {
-                // Local atomicMin, or the sender-side one-sided RDMA
-                // atomicMin for remote vertices (same semantics as BFS).
-                self.dist[w as usize] = nd;
-                out.push(self.partition.owner(w), (w, nd));
+            let owner = self.partition.owner(w);
+            if owner == pe {
+                // Local atomicMin + conditional local push.
+                if nd < self.dist[w as usize] {
+                    self.dist[w as usize] = nd;
+                    out.push(pe, (w, nd));
+                }
+            } else if nd < self.mirror[pe][w as usize] {
+                // One-sided RDMA atomicMin, applied at the owner on
+                // arrival (same semantics as BFS); the sender's private
+                // mirror suppresses non-improving offers.
+                self.mirror[pe][w as usize] = nd;
+                out.push(owner, (w, nd));
             }
         }
     }
 
     fn on_receive(&mut self, pe: usize, (w, nd): Self::Task) -> Option<Self::Task> {
         debug_assert_eq!(self.partition.owner(w), pe);
-        if nd <= self.dist[w as usize] {
+        if nd < self.dist[w as usize] {
+            self.dist[w as usize] = nd;
             Some((w, nd))
         } else {
             None
@@ -98,6 +112,32 @@ impl Application for SsspApp {
 
     fn task_bytes(&self) -> u64 {
         12 // vertex id + 64-bit distance
+    }
+}
+
+impl ShardableApp for SsspApp {
+    fn fork(&self, _lo: usize, _hi: usize) -> Self {
+        SsspApp {
+            graph: self.graph.clone(),
+            weights: self.weights.clone(),
+            partition: self.partition.clone(),
+            dist: self.dist.clone(),
+            mirror: self.mirror.clone(),
+            delta: self.delta,
+            source: self.source,
+        }
+    }
+
+    fn join(&mut self, shard: Self, lo: usize, hi: usize) {
+        for (v, d) in shard.dist.into_iter().enumerate() {
+            let owner = self.partition.owner(v as VertexId);
+            if (lo..hi).contains(&owner) {
+                self.dist[v] = d;
+            }
+        }
+        for (pe, row) in shard.mirror.into_iter().enumerate().take(hi).skip(lo) {
+            self.mirror[pe] = row;
+        }
     }
 }
 
@@ -133,11 +173,27 @@ pub fn run_sssp(
     fabric: Fabric,
     cfg: AtosConfig,
 ) -> SsspRun {
+    run_sssp_sharded(graph, weights, partition, source, delta, fabric, cfg, 1)
+}
+
+/// [`run_sssp`] on `shards` parallel engine shards — byte-identical
+/// results, parallel host execution.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sssp_sharded(
+    graph: Arc<Csr>,
+    weights: Arc<EdgeWeights>,
+    partition: Arc<Partition>,
+    source: VertexId,
+    delta: u64,
+    fabric: Fabric,
+    cfg: AtosConfig,
+    shards: usize,
+) -> SsspRun {
     assert_eq!(partition.n_parts(), fabric.n_pes());
     let app = SsspApp::new(graph, weights, partition.clone(), source, delta);
     let mut rt = Runtime::new(app, fabric, cfg);
     rt.seed(partition.owner(source), [(source, 0u64)]);
-    let stats = rt.run();
+    let stats = rt.run_sharded(shards);
     let app = rt.into_app();
     let reachable = app.dist.iter().filter(|&&d| d != UNREACHED_DIST).count() as u64;
     SsspRun {
@@ -220,6 +276,32 @@ mod tests {
             if depth != u32::MAX {
                 assert_eq!(run.dist[v], depth as u64);
             }
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_byte_identical_to_sequential() {
+        let p = Preset::by_name("twitter_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let w = Arc::new(EdgeWeights::random(&g, 16, 9));
+        let src = p.bfs_source(&g);
+        let part = Arc::new(Partition::bfs_grow(&g, 4, 3));
+        let cfg = AtosConfig::priority_discrete();
+        let seq = run_sssp(g.clone(), w.clone(), part.clone(), src, 4, Fabric::daisy(4), cfg);
+        for k in [2, 4] {
+            let sh = run_sssp_sharded(
+                g.clone(),
+                w.clone(),
+                part.clone(),
+                src,
+                4,
+                Fabric::daisy(4),
+                cfg,
+                k,
+            );
+            assert_eq!(sh.dist, seq.dist, "k={k} distances");
+            assert_eq!(sh.stats.elapsed_ns, seq.stats.elapsed_ns, "k={k} time");
+            assert_eq!(sh.stats.tasks_per_pe, seq.stats.tasks_per_pe, "k={k} tasks");
         }
     }
 

@@ -173,6 +173,7 @@ fn main() {
     let args = BenchArgs {
         scale: Scale::Tiny,
         threads: default_threads(),
+        sim_threads: 1,
         json: None,
         trace: None,
         metrics: None,

@@ -11,8 +11,10 @@
 //! Binaries accept `--quick` to run on the tiny test-scale graphs (the
 //! artifact appendix's "quick mode"), `--threads N` to fan the sweep grid
 //! over worker threads (default: host parallelism; `ATOS_BENCH_THREADS`
-//! overrides the default), and `--json PATH` to redirect the timing
-//! report ([`sweep`] has the harness).
+//! overrides the default), `--sim-threads K` to execute each Atos run on
+//! `K` parallel engine shards (byte-identical output, parallel
+//! wall-clock), and `--json PATH` to redirect the timing report
+//! ([`sweep`] has the harness).
 
 use std::sync::Arc;
 
@@ -25,8 +27,8 @@ pub mod trajectory;
 pub use observability::emit_artifacts;
 pub use sweep::{BenchArgs, SweepReport, SweepRunner};
 
-use atos_apps::bfs::run_bfs;
-use atos_apps::pagerank::run_pagerank;
+use atos_apps::bfs::run_bfs_sharded;
+use atos_apps::pagerank::run_pagerank_sharded;
 use atos_baselines::{bsp_bfs, bsp_pagerank, galois_bfs, galois_pagerank, groute_bfs, groute_pagerank};
 use atos_core::AtosConfig;
 use atos_graph::csr::{Csr, VertexId};
@@ -136,27 +138,32 @@ pub const PR_NVLINK_FRAMEWORKS: [&str; 4] = [
     "Atos (persistent kernel)",
 ];
 
-/// Run one NVLink BFS framework; returns virtual ms.
+/// Run one NVLink BFS framework; returns virtual ms. Atos cells execute
+/// on `sweep::sim_threads()` engine shards (`--sim-threads`) — the tables
+/// are byte-identical at any shard count.
 pub fn bfs_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
     let part = ds.partition(gpus);
     let fabric = Fabric::daisy(gpus);
+    let shards = sweep::sim_threads();
     let stats = match framework {
         "Gunrock" => bsp_bfs(ds.graph.clone(), part, ds.source, fabric).stats,
         "Groute" => groute_bfs(ds.graph.clone(), part, ds.source, fabric).stats,
-        "Atos (queue+persistent kernel)" => run_bfs(
+        "Atos (queue+persistent kernel)" => run_bfs_sharded(
             ds.graph.clone(),
             part,
             ds.source,
             fabric,
             AtosConfig::standard_persistent(),
+            shards,
         )
         .stats,
-        "Atos (priority queue+discrete kernel)" => run_bfs(
+        "Atos (priority queue+discrete kernel)" => run_bfs_sharded(
             ds.graph.clone(),
             part,
             ds.source,
             fabric,
             AtosConfig::priority_discrete(),
+            shards,
         )
         .stats,
         other => panic!("unknown framework {other}"),
@@ -168,25 +175,28 @@ pub fn bfs_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
 pub fn pr_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
     let part = ds.partition(gpus);
     let fabric = Fabric::daisy(gpus);
+    let shards = sweep::sim_threads();
     let stats = match framework {
         "Gunrock" => bsp_pagerank(ds.graph.clone(), part, ALPHA, EPSILON, fabric).stats,
         "Groute" => groute_pagerank(ds.graph.clone(), part, ALPHA, EPSILON, fabric).stats,
-        "Atos (discrete kernel)" => run_pagerank(
+        "Atos (discrete kernel)" => run_pagerank_sharded(
             ds.graph.clone(),
             part,
             ALPHA,
             EPSILON,
             fabric,
             AtosConfig::standard_discrete(),
+            shards,
         )
         .stats,
-        "Atos (persistent kernel)" => run_pagerank(
+        "Atos (persistent kernel)" => run_pagerank_sharded(
             ds.graph.clone(),
             part,
             ALPHA,
             EPSILON,
             fabric,
             AtosConfig::standard_persistent(),
+            shards,
         )
         .stats,
         other => panic!("unknown framework {other}"),
@@ -199,24 +209,27 @@ pub fn pr_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
 pub fn ib_ms(framework: &str, app: &str, ds: &Dataset, gpus: usize) -> f64 {
     let part = ds.partition(gpus);
     let fabric = Fabric::ib_cluster(gpus);
+    let shards = sweep::sim_threads();
     let stats = match (framework, app) {
         ("Galois", "bfs") => galois_bfs(ds.graph.clone(), part, ds.source, fabric).stats,
         ("Galois", "pr") => galois_pagerank(ds.graph.clone(), part, ALPHA, EPSILON, fabric).stats,
-        ("Atos", "bfs") => run_bfs(
+        ("Atos", "bfs") => run_bfs_sharded(
             ds.graph.clone(),
             part,
             ds.source,
             fabric,
             AtosConfig::ib_bfs(),
+            shards,
         )
         .stats,
-        ("Atos", "pr") => run_pagerank(
+        ("Atos", "pr") => run_pagerank_sharded(
             ds.graph.clone(),
             part,
             ALPHA,
             EPSILON,
             fabric,
             AtosConfig::ib_pagerank(),
+            shards,
         )
         .stats,
         other => panic!("unknown combination {other:?}"),

@@ -157,6 +157,7 @@ mod tests {
         let args = BenchArgs {
             scale: Scale::Tiny,
             threads: 1,
+            sim_threads: 1,
             json: None,
             trace: None,
             metrics: None,
@@ -172,6 +173,7 @@ mod tests {
         let args = BenchArgs {
             scale: Scale::Tiny,
             threads: 1,
+            sim_threads: 1,
             json: None,
             trace: Some(dir.join("trace.json")),
             metrics: Some(dir.join("metrics.json")),

@@ -59,6 +59,12 @@ pub struct BenchArgs {
     /// the timing-report entry is keyed `<binary>@<ID>` so the report
     /// accumulates a history instead of overwriting the binary's entry.
     pub run_id: Option<String>,
+    /// Engine shards per simulated run from `--sim-threads K` (default 1
+    /// — the sequential engine). With `K > 1` each Atos run executes on
+    /// the sharded window-barrier runtime (`Runtime::run_sharded`):
+    /// byte-identical tables, parallel host wall-clock. Orthogonal to
+    /// `--threads`, which fans *independent* sweep cells.
+    pub sim_threads: usize,
 }
 
 impl BenchArgs {
@@ -70,7 +76,10 @@ impl BenchArgs {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let env = std::env::var("ATOS_BENCH_THREADS").ok();
         match Self::parse_from(&args, env.as_deref(), default_threads()) {
-            Ok(a) => a,
+            Ok(a) => {
+                set_sim_threads(a.sim_threads);
+                a
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(2);
@@ -94,6 +103,7 @@ impl BenchArgs {
         let mut trace: Option<PathBuf> = None;
         let mut metrics: Option<PathBuf> = None;
         let mut run_id: Option<String> = None;
+        let mut sim_threads = 1usize;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -119,10 +129,17 @@ impl BenchArgs {
                     let v = it.next().ok_or("--run-id requires a value")?;
                     run_id = Some(v.clone());
                 }
+                "--sim-threads" => {
+                    let v = it.next().ok_or("--sim-threads requires a value")?;
+                    sim_threads = v
+                        .parse()
+                        .map_err(|_| format!("invalid --sim-threads value `{v}`"))?;
+                }
                 other => {
                     return Err(format!(
                         "unknown argument `{other}` (supported: --quick, --threads N, \
-                         --json PATH, --trace PATH, --metrics PATH, --run-id ID)"
+                         --json PATH, --trace PATH, --metrics PATH, --run-id ID, \
+                         --sim-threads K)"
                     ))
                 }
             }
@@ -142,8 +159,26 @@ impl BenchArgs {
             trace,
             metrics,
             run_id,
+            sim_threads: sim_threads.max(1),
         })
     }
+}
+
+/// Engine shard count each Atos run should use, set once at argument
+/// parse time and read by the framework runners (`crate::bfs_nvlink_ms`
+/// and friends) when they construct a run. A process-wide atomic rather
+/// than a threaded parameter: the sweep grid fans cells over worker
+/// threads, and every cell of one binary invocation shares the setting.
+static SIM_THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Set the engine shard count for subsequent Atos runs (clamped to >= 1).
+pub fn set_sim_threads(k: usize) {
+    SIM_THREADS.store(k.max(1), Ordering::Relaxed);
+}
+
+/// Engine shard count Atos runs execute with (see [`set_sim_threads`]).
+pub fn sim_threads() -> usize {
+    SIM_THREADS.load(Ordering::Relaxed)
 }
 
 /// Host parallelism used when neither `--threads` nor
@@ -239,6 +274,7 @@ pub fn total_sim_events() -> u64 {
 pub struct SweepReport {
     binary: String,
     threads: usize,
+    sim_threads: usize,
     json: Option<PathBuf>,
     started: Instant,
 }
@@ -255,6 +291,7 @@ impl SweepReport {
         SweepReport {
             binary: key,
             threads: args.threads,
+            sim_threads: args.sim_threads,
             json: args.json.clone(),
             started: Instant::now(),
         }
@@ -268,29 +305,40 @@ impl SweepReport {
             .json
             .unwrap_or_else(|| PathBuf::from(DEFAULT_REPORT_PATH));
         eprintln!(
-            "[sweep] {}: {:.3}s wall, {} thread{}, {} sim events -> {}",
+            "[sweep] {}: {:.3}s wall, {} thread{}, {} engine shard{}, {} sim events -> {}",
             self.binary,
             wall_s,
             self.threads,
             if self.threads == 1 { "" } else { "s" },
+            self.sim_threads,
+            if self.sim_threads == 1 { "" } else { "s" },
             events,
             path.display()
         );
-        if let Err(e) = write_report_entry(&path, &self.binary, wall_s, self.threads, events) {
+        if let Err(e) = write_report_entry(
+            &path,
+            &self.binary,
+            wall_s,
+            self.threads,
+            self.sim_threads,
+            events,
+        ) {
             eprintln!("[sweep] warning: could not write {}: {e}", path.display());
         }
     }
 }
 
 /// Read-modify-write one binary's entry in the line-oriented JSON report
-/// (`{"<binary>": {"wall_s": ..., "threads": ..., "sim_events": ...}}`).
-/// Existing entries for other binaries are preserved; output is sorted by
-/// binary name so the file is diff-stable.
+/// (`{"<binary>": {"wall_s": ..., "threads": ..., "sim_threads": ...,
+/// "sim_events": ...}}`). Existing entries for other binaries — including
+/// pre-`sim_threads` history lines — are preserved verbatim; output is
+/// sorted by binary name so the file is diff-stable.
 pub fn write_report_entry(
     path: &Path,
     binary: &str,
     wall_s: f64,
     threads: usize,
+    sim_threads: usize,
     sim_events: u64,
 ) -> io::Result<()> {
     let mut entries: BTreeMap<String, String> = BTreeMap::new();
@@ -308,7 +356,10 @@ pub fn write_report_entry(
     }
     entries.insert(
         binary.to_string(),
-        format!("{{\"wall_s\": {wall_s:.3}, \"threads\": {threads}, \"sim_events\": {sim_events}}}"),
+        format!(
+            "{{\"wall_s\": {wall_s:.3}, \"threads\": {threads}, \
+             \"sim_threads\": {sim_threads}, \"sim_events\": {sim_events}}}"
+        ),
     );
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
@@ -348,6 +399,7 @@ mod tests {
         assert_eq!(a.trace, None);
         assert_eq!(a.metrics, None);
         assert_eq!(a.run_id, None);
+        assert_eq!(a.sim_threads, 1);
     }
 
     #[test]
@@ -365,6 +417,8 @@ mod tests {
                 "/tmp/m.json",
                 "--run-id",
                 "abc123@2026-01-01T00:00:00Z",
+                "--sim-threads",
+                "4",
             ]),
             None,
             1,
@@ -376,6 +430,15 @@ mod tests {
         assert_eq!(a.trace, Some(PathBuf::from("/tmp/t.json")));
         assert_eq!(a.metrics, Some(PathBuf::from("/tmp/m.json")));
         assert_eq!(a.run_id.as_deref(), Some("abc123@2026-01-01T00:00:00Z"));
+        assert_eq!(a.sim_threads, 4);
+    }
+
+    #[test]
+    fn parser_clamps_sim_threads_and_rejects_garbage() {
+        let a = BenchArgs::parse_from(&s(&["--sim-threads", "0"]), None, 1).unwrap();
+        assert_eq!(a.sim_threads, 1);
+        assert!(BenchArgs::parse_from(&s(&["--sim-threads"]), None, 1).is_err());
+        assert!(BenchArgs::parse_from(&s(&["--sim-threads", "two"]), None, 1).is_err());
     }
 
     #[test]
@@ -426,15 +489,43 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("atos-sweep-test-{}", std::process::id()));
         let path = dir.join("BENCH_sweep.json");
         let _ = std::fs::remove_dir_all(&dir);
-        write_report_entry(&path, "table2", 1.5, 4, 100).unwrap();
-        write_report_entry(&path, "table5", 2.0, 2, 200).unwrap();
+        write_report_entry(&path, "table2", 1.5, 4, 1, 100).unwrap();
+        write_report_entry(&path, "table5", 2.0, 2, 4, 200).unwrap();
         // Re-running a binary replaces its entry.
-        write_report_entry(&path, "table2", 9.25, 8, 300).unwrap();
+        write_report_entry(&path, "table2", 9.25, 8, 2, 300).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(
             text,
-            "{\n  \"table2\": {\"wall_s\": 9.250, \"threads\": 8, \"sim_events\": 300},\n  \
-             \"table5\": {\"wall_s\": 2.000, \"threads\": 2, \"sim_events\": 200}\n}\n"
+            "{\n  \"table2\": {\"wall_s\": 9.250, \"threads\": 8, \"sim_threads\": 2, \
+             \"sim_events\": 300},\n  \
+             \"table5\": {\"wall_s\": 2.000, \"threads\": 2, \"sim_threads\": 4, \
+             \"sim_events\": 200}\n}\n"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_preserves_pre_sim_threads_entries() {
+        // History lines written before the sim_threads field existed must
+        // survive a merge untouched.
+        let dir = std::env::temp_dir().join(format!("atos-sweep-old-{}", std::process::id()));
+        let path = dir.join("BENCH_sweep.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            &path,
+            "{\n  \"fig1@old\": {\"wall_s\": 1.000, \"threads\": 1, \"sim_events\": 5}\n}\n",
+        )
+        .unwrap();
+        write_report_entry(&path, "fig1@new", 2.0, 1, 4, 9).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("\"fig1@old\": {\"wall_s\": 1.000, \"threads\": 1, \"sim_events\": 5}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\"fig1@new\": {\"wall_s\": 2.000, \"threads\": 1, \"sim_threads\": 4, \"sim_events\": 9}"),
+            "{text}"
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -451,9 +542,9 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("atos-sweep-runid-{}", std::process::id()));
         let path = dir.join("BENCH_sweep.json");
         let _ = std::fs::remove_dir_all(&dir);
-        write_report_entry(&path, "fig5@abc123@t0", 1.0, 1, 10).unwrap();
-        write_report_entry(&path, "fig5@def456@t1", 2.0, 1, 20).unwrap();
-        write_report_entry(&path, "fig5@abc123@t0", 3.0, 1, 30).unwrap();
+        write_report_entry(&path, "fig5@abc123@t0", 1.0, 1, 1, 10).unwrap();
+        write_report_entry(&path, "fig5@def456@t1", 2.0, 1, 1, 20).unwrap();
+        write_report_entry(&path, "fig5@abc123@t0", 3.0, 1, 1, 30).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"fig5@abc123@t0\": {\"wall_s\": 3.000"), "{text}");
         assert!(text.contains("\"fig5@def456@t1\": {\"wall_s\": 2.000"), "{text}");

@@ -15,7 +15,11 @@
 //! 2. **End-to-end quick workloads** ([`fig5_quick_workload`],
 //!    [`fig8_quick_workload`]): the fig5/fig8 sweep grids at test scale,
 //!    run serially in-process so the number is a stable single-core
-//!    wall-clock, not a function of host parallelism.
+//!    wall-clock, not a function of host parallelism. The shard-scaling
+//!    variant ([`fig5_sharded_run`], [`measure_sharded_scaling`]) sweeps
+//!    the Atos cells over K ∈ {1,2,4,8} engine shards and records the
+//!    self-relative speedup curve (plus `host_cores`, since the curve is
+//!    a property of the machine).
 //! 3. **The trajectory file** ([`TrajectoryEntry`], [`read_trajectory`],
 //!    [`append_entries`], [`check_regression`]): a committed, append-only
 //!    JSON history keyed by `<git sha>@<timestamp>` — both passed in via
@@ -31,12 +35,16 @@ use std::io;
 use std::path::Path;
 use std::time::Instant;
 
+use atos_apps::bfs::run_bfs_sharded;
+use atos_apps::pagerank::run_pagerank_sharded;
+use atos_core::{AtosConfig, RunStats};
 use atos_graph::generators::{Preset, Scale};
 use atos_sim::engine::reference::HeapEngine;
-use atos_sim::Engine;
+use atos_sim::{Engine, Fabric};
 
 use crate::{
-    bfs_nvlink_ms, ib_ms, pr_nvlink_ms, Dataset, BFS_NVLINK_FRAMEWORKS, PR_NVLINK_FRAMEWORKS,
+    bfs_nvlink_ms, ib_ms, pr_nvlink_ms, Dataset, ALPHA, BFS_NVLINK_FRAMEWORKS, EPSILON,
+    PR_NVLINK_FRAMEWORKS,
 };
 
 /// Default location of the committed trajectory history, relative to the
@@ -235,6 +243,106 @@ pub fn fig8_quick_workload() -> f64 {
     t0.elapsed().as_secs_f64() * 1e3
 }
 
+/// The Atos cells of the fig5 grid (both NVLink BFS configs and both
+/// NVLink PageRank configs, 4 GPUs, all scaling datasets) executed on `k`
+/// parallel engine shards. Returns an order-sensitive checksum over every
+/// run's virtual clock and event count — identical for every `k` by the
+/// sharded runtime's determinism guarantee, so the scaling bench doubles
+/// as an end-to-end equivalence check. `k` larger than the PE count is
+/// clamped by the runtime (k=8 on the 4-GPU fabric runs as 4 shards and
+/// measures the clamp's overhead-freeness).
+pub fn fig5_sharded_run(k: usize) -> u64 {
+    let datasets: Vec<Dataset> = Preset::SCALING
+        .iter()
+        .map(|n| Dataset::build(Preset::by_name(n).unwrap(), Scale::Tiny))
+        .collect();
+    let mut sum = 0u64;
+    let mut fold = |stats: &RunStats| {
+        sum = sum
+            .rotate_left(7)
+            .wrapping_add(stats.elapsed_ns)
+            .wrapping_add(stats.sim_events.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    };
+    for ds in &datasets {
+        let part = ds.partition(4);
+        let fabric = Fabric::daisy(4);
+        for cfg in [
+            AtosConfig::standard_persistent(),
+            AtosConfig::priority_discrete(),
+        ] {
+            fold(
+                &run_bfs_sharded(
+                    ds.graph.clone(),
+                    part.clone(),
+                    ds.source,
+                    fabric.clone(),
+                    cfg,
+                    k,
+                )
+                .stats,
+            );
+        }
+        for cfg in [
+            AtosConfig::standard_discrete(),
+            AtosConfig::standard_persistent(),
+        ] {
+            fold(
+                &run_pagerank_sharded(
+                    ds.graph.clone(),
+                    part.clone(),
+                    ALPHA,
+                    EPSILON,
+                    fabric.clone(),
+                    cfg,
+                    k,
+                )
+                .stats,
+            );
+        }
+    }
+    sum
+}
+
+/// Shard counts the `sharded_scaling` trajectory entry sweeps.
+pub const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Measure the shard-count strong-scaling curve for the
+/// `sharded_scaling` trajectory entry: best-of-`samples` wall clock of
+/// [`fig5_sharded_run`] at K ∈ {1, 2, 4, 8} (`fig5_sharded_k{K}_ms`)
+/// plus self-relative ratios vs K=1 (`fig5_sharded_k{K}_speedup_x`,
+/// higher is better). Also records `host_cores`: shard *threads* are
+/// clamped to host parallelism, so on a 1-core host the curve is
+/// honestly flat (ratios ≈ 1.0, minus barrier overhead) — the gate
+/// compares ratios against history from the same host rather than
+/// against an absolute floor, and [`check_regression`] skips the ratio
+/// comparison when the recorded core counts differ. Panics if any K's
+/// checksum diverges from K=1: a scaling number for a wrong result is
+/// worse than no number.
+pub fn measure_sharded_scaling(samples: usize) -> BTreeMap<String, f64> {
+    let mut metrics = BTreeMap::new();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    metrics.insert("host_cores".to_string(), cores as f64);
+    let mut base_ms = 0.0f64;
+    let mut base_sum = 0u64;
+    for k in SHARD_SWEEP {
+        let (ms, sum) = best_of_ms(samples, || fig5_sharded_run(k));
+        if k == 1 {
+            base_ms = ms;
+            base_sum = sum;
+        } else {
+            assert_eq!(
+                sum, base_sum,
+                "sharded fig5 run diverged from sequential at k={k}"
+            );
+            metrics.insert(format!("fig5_sharded_k{k}_speedup_x"), base_ms / ms);
+        }
+        metrics.insert(format!("fig5_sharded_k{k}_ms"), ms);
+    }
+    metrics
+}
+
 // ---------------------------------------------------------------------------
 // Trajectory file
 // ---------------------------------------------------------------------------
@@ -244,7 +352,7 @@ pub fn fig8_quick_workload() -> f64 {
 pub struct TrajectoryEntry {
     /// `<git sha>@<timestamp>` — both supplied on the command line.
     pub run_id: String,
-    /// Entry kind: `engine_microbench` or `e2e_quick`.
+    /// Entry kind: `engine_microbench`, `e2e_quick`, or `sharded_scaling`.
     pub kind: String,
     /// Numeric metrics; key suffixes carry the regression direction
     /// (`_ms` = lower is better, `_speedup_x` = higher is better).
@@ -347,12 +455,20 @@ pub fn append_entries(path: &Path, new: &[TrajectoryEntry]) -> io::Result<()> {
 /// more than `pct` percent *slower*, `_speedup_x` when it is more than
 /// `pct` percent *lower*. Other keys are informational. When both entries
 /// record an `events` count and they differ, absolute `_ms` metrics are
-/// not comparable and are skipped (the ratio metrics still are).
+/// not comparable and are skipped (the ratio metrics still are). When
+/// both entries record `host_cores` and they differ, *everything* is
+/// skipped: shard-scaling ratios and wall-clock alike are functions of
+/// the machine, and a history written on one host must not gate another.
 pub fn check_regression(
     prev: &TrajectoryEntry,
     cur: &TrajectoryEntry,
     pct: f64,
 ) -> Vec<String> {
+    if let (Some(a), Some(b)) = (prev.metrics.get("host_cores"), cur.metrics.get("host_cores")) {
+        if a != b {
+            return Vec::new();
+        }
+    }
     let scale_mismatch = match (prev.metrics.get("events"), cur.metrics.get("events")) {
         (Some(a), Some(b)) => a != b,
         _ => false,
@@ -489,5 +605,63 @@ mod tests {
         let cur = entry("engine_microbench", &[("events", 2e5), ("uniform_wheel_ms", 500.0)]);
         // Different event counts: the absolute timing is not comparable.
         assert!(check_regression(&prev, &cur, 10.0).is_empty());
+    }
+
+    #[test]
+    fn regression_gate_skips_everything_across_host_core_counts() {
+        let prev = entry(
+            "sharded_scaling",
+            &[
+                ("host_cores", 8.0),
+                ("fig5_sharded_k1_ms", 100.0),
+                ("fig5_sharded_k4_speedup_x", 3.2),
+            ],
+        );
+        // Same metrics measured on a 1-core host: flat curve, slower
+        // wall clock — not a regression, a different machine.
+        let one_core = entry(
+            "sharded_scaling",
+            &[
+                ("host_cores", 1.0),
+                ("fig5_sharded_k1_ms", 400.0),
+                ("fig5_sharded_k4_speedup_x", 0.97),
+            ],
+        );
+        assert!(check_regression(&prev, &one_core, 10.0).is_empty());
+        // Same host: the collapsed ratio is flagged.
+        let same_host = entry(
+            "sharded_scaling",
+            &[
+                ("host_cores", 8.0),
+                ("fig5_sharded_k1_ms", 100.0),
+                ("fig5_sharded_k4_speedup_x", 0.97),
+            ],
+        );
+        let v = check_regression(&prev, &same_host, 10.0);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn sharded_fig5_checksum_is_shard_invariant() {
+        // The scaling bench is only meaningful if every shard count
+        // computes the identical schedule; k=8 additionally exercises the
+        // clamp to the 4-PE fabric.
+        let base = fig5_sharded_run(1);
+        assert_ne!(base, 0, "checksum must fold real work");
+        for k in [2, 8] {
+            assert_eq!(fig5_sharded_run(k), base, "k={k}");
+        }
+    }
+
+    #[test]
+    fn sharded_scaling_metrics_are_complete() {
+        let m = measure_sharded_scaling(1);
+        assert!(m["host_cores"] >= 1.0);
+        for k in SHARD_SWEEP {
+            assert!(m[&format!("fig5_sharded_k{k}_ms")] > 0.0, "k={k}");
+        }
+        for k in &SHARD_SWEEP[1..] {
+            assert!(m[&format!("fig5_sharded_k{k}_speedup_x")] > 0.0, "k={k}");
+        }
     }
 }

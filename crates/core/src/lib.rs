@@ -52,15 +52,19 @@ pub mod host;
 pub mod metrics;
 pub mod pgas;
 pub mod runtime;
+pub mod sharded;
+#[cfg(atos_check)]
+pub mod sharded_mutations;
 pub mod workqueue;
 
-pub use app::Application;
+pub use app::{Application, ShardableApp};
 pub use config::{AtosConfig, CommMode, KernelMode, QueueMode, WorkerConfig, WorkerSize};
 pub use dqueue::DistributedQueues;
 pub use emitter::Emitter;
 pub use metrics::RunStats;
 pub use host::{run_host, HostApplication, HostConfig, HostStats};
 pub use runtime::{Runtime, RuntimeTuning};
+pub use sharded::{ExchangeBoard, SpinBarrier};
 
 // Observability: re-export the tracing vocabulary so downstream crates can
 // drive `Runtime::with_tracer` without naming `atos-trace` directly.

@@ -26,14 +26,18 @@
 //! * In aggregated mode, pushes land in per-destination
 //!   [`AggBuffer`]s instead, and bundles leave on the size/age triggers.
 
-use atos_sim::{ControlPath, Engine, Fabric, GpuCostModel, PeId, Time};
+use atos_queue::sync::{thread, AtomicU64, Ordering};
+use atos_sim::{
+    ControlPath, Engine, ExchangeKey, Fabric, GpuCostModel, PeId, PendingTransfer, Time,
+};
 use atos_trace::{NullTracer, Tracer, Track};
 
 use crate::aggregator::AggBuffer;
-use crate::app::{Application, IdleOutcome};
+use crate::app::{Application, IdleOutcome, ShardableApp};
 use crate::config::{AtosConfig, CommMode, KernelMode, QueueMode};
 use crate::emitter::Emitter;
 use crate::metrics::RunStats;
+use crate::sharded::{ExchangeBoard, SpinBarrier};
 use crate::workqueue::WorkQueue;
 
 use atos_macros::atos_hot;
@@ -45,6 +49,14 @@ const WAKE_POLL_NS: Time = 400;
 /// Hard cap on processed events — a runaway guard for mis-configured
 /// applications (e.g. a task that re-emits itself forever).
 const MAX_EVENTS: u64 = 200_000_000;
+
+/// Outlined abort for the [`MAX_EVENTS`] runaway guard, kept out of the
+/// `run_window` kernel scope.
+#[cold]
+#[inline(never)]
+fn runaway_abort(processed: u64) -> ! {
+    panic!("runaway simulation: {processed} events");
+}
 
 /// Upper bound on pooled payload vectors retained for reuse. In-flight
 /// message counts above this simply fall back to allocation; the cap only
@@ -58,6 +70,25 @@ enum Ev<T> {
     Arrive { dst: usize, tasks: Vec<T> },
     /// Aggregator age-trigger poll on a PE.
     AggPoll { pe: usize },
+}
+
+/// One inter-PE message staged in the outbox during a window, resolved
+/// and delivered at the next window barrier.
+///
+/// Egress (source-side link occupancy, stats, the `send` trace instant)
+/// is charged when the message is emitted; ingress resolution and the
+/// `Arrive` event wait for the barrier, where all staged messages merge
+/// in deterministic [`ExchangeKey`] order. Because the key is computed
+/// from source-local state only, the merge order — and therefore every
+/// downstream arrival time and event sequence — is identical no matter
+/// how PEs are partitioned into shards.
+struct StagedMsg<T> {
+    key: ExchangeKey,
+    dst: usize,
+    xfer: PendingTransfer,
+    /// Task payload; empty for round-metadata messages, which occupy the
+    /// wire but deliver nothing.
+    tasks: Vec<T>,
 }
 
 /// Framework-behavior knobs that distinguish Atos from the baseline
@@ -112,6 +143,10 @@ struct Pe<T> {
     /// whole window, not one per buffered destination.
     agg_poll_deadline: Time,
     idle_ran: bool,
+    /// Monotone count of messages this PE has emitted — the
+    /// [`ExchangeKey::counter`] tiebreak, deterministic because it is
+    /// advanced only by this PE's own (shard-local) events.
+    emitted: u64,
 }
 
 /// The Atos runtime: an [`Application`] executing under an [`AtosConfig`]
@@ -139,13 +174,18 @@ pub struct Runtime<A: Application, Tr: Tracer = NullTracer> {
     /// [`Ev::Arrive`], are drained at the destination, and return here —
     /// the steady-state send path performs no per-task heap allocation.
     vec_pool: Vec<Vec<A::Task>>,
-    /// Arrival events staged during one dispatch and handed to the engine
-    /// in a single [`Engine::schedule_batch`] call.
+    /// Arrival events built during one barrier merge and handed to the
+    /// engine in a single [`Engine::schedule_batch`] call.
     pending: Vec<(Time, Ev<A::Task>)>,
-    /// Arrival time of the current dispatch's round-metadata message per
-    /// peer (0 = none in flight). Used to assert that link FIFO order
-    /// makes metadata gate the payload that follows it.
-    meta_arrival: Vec<Time>,
+    /// Messages emitted during the current window, awaiting the barrier
+    /// merge (cross-shard rows are split off by `run_sharded`).
+    outbox: Vec<StagedMsg<A::Task>>,
+    /// Per-destination coalescing cursor for one merge: `(arrival,
+    /// index-into-pending)` of the destination's most recent staged
+    /// arrival. Keyed per destination — not "last staged overall" — so
+    /// which arrivals merge is independent of how interleaved the sorted
+    /// key sequence is across destinations, i.e. of the shard count.
+    merge_last: Vec<(Time, usize)>,
     /// Virtual-time event sink ([`NullTracer`] unless built with
     /// [`Runtime::with_tracer`]).
     tracer: Tr,
@@ -203,6 +243,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
                 agg_poll_scheduled: false,
                 agg_poll_deadline: 0,
                 idle_ran: false,
+                emitted: 0,
             })
             .collect();
         Runtime {
@@ -218,7 +259,8 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
             batch: Vec::new(),
             vec_pool: Vec::new(),
             pending: Vec::new(),
-            meta_arrival: vec![0; n],
+            outbox: Vec::new(),
+            merge_last: vec![(Time::MAX, usize::MAX); n],
             tracer,
         }
     }
@@ -243,14 +285,15 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
         self.app
     }
 
-    /// Seed initial tasks on a PE (before `run`).
+    /// Seed initial tasks on a PE (before `run`). The initial scheduling
+    /// steps are created by `run`'s bootstrap in ascending PE order, so
+    /// seeding order never influences the event sequence.
     pub fn seed(&mut self, pe: usize, tasks: impl IntoIterator<Item = A::Task>) {
         for t in tasks {
             let prio = self.app.priority(&t);
             self.pes[pe].queue.push(t, prio);
         }
         self.note_queue_depth(pe);
-        self.wake(pe, 0);
     }
 
     /// Track the worklist occupancy high-water mark after a push burst.
@@ -264,8 +307,59 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
     }
 
     /// Execute to global quiescence; returns the run's measurements.
+    ///
+    /// Execution proceeds in *windows*: events strictly before the safe
+    /// horizon `T_min + lookahead` run, then the outbox of messages
+    /// emitted during the window merges back into the engine in
+    /// deterministic [`ExchangeKey`] order. The lookahead — the minimum
+    /// time any message needs to reach another PE — guarantees no merged
+    /// event can land inside the window that produced it, so this loop
+    /// computes the same schedule whether the windows of different PEs
+    /// run on one thread (here) or on many ([`Runtime::run_sharded`]).
     pub fn run(&mut self) -> RunStats {
-        while let Some((_, ev)) = self.engine.pop() {
+        let n = self.pes.len();
+        self.bootstrap(0, n);
+        let lookahead = self.lookahead();
+        loop {
+            self.merge_exchange();
+            let Some(t_min) = self.engine.peek_time() else {
+                break;
+            };
+            self.run_window(t_min.saturating_add(lookahead));
+        }
+        self.finish_stats();
+        self.stats.clone()
+    }
+
+    /// Conservative lookahead: no message emitted at `t` can be delivered
+    /// before `t + lookahead`, because every route pays at least the
+    /// control path's injection overhead plus the fabric's minimum
+    /// remote latency. A fabric with no remote routes (single PE) has
+    /// unbounded lookahead — one window drains the whole run.
+    fn lookahead(&self) -> Time {
+        match self.fabric.min_remote_latency_ns() {
+            Some(lat) => self.tuning.control.inject_ns.saturating_add(lat),
+            None => Time::MAX,
+        }
+    }
+
+    /// Schedule the initial scheduling step for every seeded PE in
+    /// `lo..hi`, in ascending PE order — the same relative order any
+    /// shard's restriction of the sequence would have.
+    fn bootstrap(&mut self, lo: usize, hi: usize) {
+        for pe in lo..hi {
+            if !self.pes[pe].queue.is_empty() && !self.pes[pe].step_scheduled {
+                self.pes[pe].step_scheduled = true;
+                self.pes[pe].idle_ran = false;
+                self.engine.schedule_in(0, Ev::Step { pe });
+            }
+        }
+    }
+
+    /// Dispatch every event strictly before `horizon`.
+    #[atos_hot]
+    fn run_window(&mut self, horizon: Time) {
+        while let Some((_, ev)) = self.engine.pop_before(horizon) {
             // Per-event-kind dispatch counts (the engine is generic over
             // the event payload, so the kinds are tallied here).
             match ev {
@@ -282,12 +376,66 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
                     self.agg_poll(pe);
                 }
             }
-            assert!(
-                self.engine.processed() < MAX_EVENTS,
-                "runaway simulation: {} events",
-                self.engine.processed()
-            );
+            if self.engine.processed() >= MAX_EVENTS {
+                runaway_abort(self.engine.processed());
+            }
         }
+    }
+
+    /// Merge this runtime's own outbox into its engine (the single-shard
+    /// window barrier; `run_sharded` routes cross-shard rows through the
+    /// exchange board first).
+    fn merge_exchange(&mut self) {
+        if self.outbox.is_empty() {
+            return;
+        }
+        let mut outbox = std::mem::take(&mut self.outbox);
+        self.merge_records(&mut outbox);
+        self.outbox = outbox;
+    }
+
+    /// Resolve and deliver one barrier's staged messages: sort by
+    /// [`ExchangeKey`], resolve ingress occupancy in that order, coalesce
+    /// same-`(dst, arrival)` deliveries, and hand the arrivals to the
+    /// engine in one batch. Drains `records`, keeping its capacity.
+    #[atos_hot]
+    fn merge_records(&mut self, records: &mut Vec<StagedMsg<A::Task>>) {
+        if records.is_empty() {
+            return;
+        }
+        // Keys are unique (per-source counters), so unstable sort is
+        // deterministic.
+        records.sort_unstable_by_key(|m| m.key);
+        for cursor in self.merge_last.iter_mut() {
+            *cursor = (Time::MAX, usize::MAX);
+        }
+        for msg in records.drain(..) {
+            let arrival = self.fabric.resolve_ingress(&msg.xfer);
+            if msg.tasks.is_empty() {
+                // Round metadata: occupies the wire, delivers no tasks.
+                continue;
+            }
+            if self.tracer.is_enabled() {
+                // Arrival mark carrying the end-to-end latency on the
+                // destination timeline (counterpart of `route`'s send).
+                self.tracer.instant(
+                    Track::pe(msg.dst),
+                    arrival,
+                    "msg",
+                    ["latency_ns", "bytes"],
+                    [arrival.saturating_sub(msg.xfer.issued), msg.xfer.payload],
+                );
+            }
+            self.stage_arrival(arrival, msg.dst, msg.tasks);
+        }
+        let mut pending = std::mem::take(&mut self.pending);
+        self.engine.schedule_batch(pending.drain(..));
+        self.pending = pending;
+    }
+
+    /// Fill the trace- and engine-derived summary statistics after the
+    /// event loop drains.
+    fn finish_stats(&mut self) {
         // Extend the utilization series to the true run end so trailing
         // compute-only time counts toward the burstiness statistic.
         self.fabric.trace.finish(self.engine.now());
@@ -296,7 +444,6 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
         self.stats.burstiness = self.fabric.trace.burstiness();
         self.stats.sim_events = self.engine.processed();
         self.stats.peak_pending_events = self.engine.max_pending() as u64;
-        self.stats.clone()
     }
 
     /// The fabric's traffic trace (after `run`).
@@ -442,7 +589,9 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
         // Gluon-style round metadata: serialize and broadcast update masks
         // to every peer before this round's payload leaves. The host-side
         // pack/unpack cost accumulates per peer on the sender's critical
-        // path; the payload below cannot leave until it completes.
+        // path; the payload below cannot leave until it completes (link
+        // FIFO: egress is charged in issue order, so the payload staged
+        // after the metadata cannot overtake it).
         let mut metadata_done = now + busy;
         if self.tuning.round_metadata_bytes > 0 {
             let ser_ns = (self.tuning.round_metadata_bytes as f64
@@ -451,20 +600,28 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
             for peer in 0..self.pes.len() {
                 if peer != src {
                     metadata_done += ser_ns;
-                    let arrival = self.fabric.transfer(
+                    let bytes = self.tuning.round_metadata_bytes;
+                    let xfer = self.fabric.transfer_egress(
                         metadata_done,
                         PeId(src as u32),
                         PeId(peer as u32),
-                        self.tuning.round_metadata_bytes,
+                        bytes,
                         self.tuning.control,
                     );
-                    // Metadata gates the payload via link FIFO order: the
-                    // payload transfer is issued on the same link no
-                    // earlier than `metadata_done`, so it cannot overtake.
-                    // `send` asserts this against the recorded arrival.
-                    self.meta_arrival[peer] = arrival;
                     self.stats.messages += 1;
-                    self.stats.payload_bytes += self.tuning.round_metadata_bytes;
+                    self.stats.payload_bytes += bytes;
+                    let counter = self.pes[src].emitted;
+                    self.pes[src].emitted += 1;
+                    self.outbox.push(StagedMsg {
+                        key: ExchangeKey {
+                            t_key: xfer.t_key,
+                            src: src as u32,
+                            counter,
+                        },
+                        dst: peer,
+                        xfer,
+                        tasks: Vec::new(),
+                    });
                 }
             }
         }
@@ -491,8 +648,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
                         i += 1;
                         let mut payload = self.vec_pool.pop().unwrap_or_default();
                         payload.extend_from_slice(chunk);
-                        let arrival = self.route(t_issue, src, dst, payload.len(), task_bytes);
-                        self.stage_arrival(arrival, dst, payload);
+                        self.route(t_issue, src, dst, payload, task_bytes);
                     }
                     tasks.clear();
                 }
@@ -522,15 +678,6 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
             }
         }
         self.pes[src].stage = stage;
-        if self.tuning.round_metadata_bytes > 0 {
-            self.meta_arrival.iter_mut().for_each(|t| *t = 0);
-        }
-        // Hand every arrival staged above to the engine in one batch (in
-        // issue order, so sequence numbers — and tie-breaking — match the
-        // old one-schedule-per-send behavior exactly).
-        let mut pending = std::mem::take(&mut self.pending);
-        self.engine.schedule_batch(pending.drain(..));
-        self.pending = pending;
         if matches!(self.cfg.comm, CommMode::Aggregated { .. }) {
             self.schedule_agg_poll(src);
         }
@@ -565,22 +712,22 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
                 [bytes, bundle.len() as u64],
             );
         }
-        let arrival = self.route(at, src, dst, bundle.len(), task_bytes);
-        self.stage_arrival(arrival, dst, bundle);
+        self.route(at, src, dst, bundle, task_bytes);
     }
 
-    /// Stage one message arrival for the engine, coalescing it into the
-    /// immediately preceding staged arrival when both target the same
-    /// destination at the same deliver time. Same-`(src, dst)` messages
+    /// Stage one resolved arrival for the engine (barrier-merge side),
+    /// coalescing it into the destination's previous staged arrival when
+    /// both land at the same deliver time. Same-`(src, dst)` messages
     /// serialize on the link (distinct arrival ns), so merges fire only
-    /// for genuinely simultaneous deliveries; the merged payload keeps
-    /// issue order, so the destination enqueues tasks in the exact order
-    /// two back-to-back events would have produced. One event then pays
-    /// one engine pop + one wake instead of two.
+    /// for genuinely simultaneous deliveries; resolution happens in
+    /// [`ExchangeKey`] order, so the merged payload keeps that order and
+    /// the destination enqueues tasks exactly as back-to-back events
+    /// would have. One event then pays one engine pop + one wake.
     #[atos_hot]
     fn stage_arrival(&mut self, arrival: Time, dst: usize, mut payload: Vec<A::Task>) {
-        if let Some((t, Ev::Arrive { dst: d, tasks })) = self.pending.last_mut() {
-            if *t == arrival && *d == dst {
+        let (last_t, last_idx) = self.merge_last[dst];
+        if last_t == arrival {
+            if let (_, Ev::Arrive { tasks, .. }) = &mut self.pending[last_idx] {
                 tasks.extend_from_slice(&payload);
                 self.stats.coalesced_arrivals += 1;
                 payload.clear();
@@ -590,48 +737,50 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
                 return;
             }
         }
+        self.merge_last[dst] = (arrival, self.pending.len());
         self.pending.push((arrival, Ev::Arrive { dst, tasks: payload }));
     }
 
-    /// One message on the wire: charge control path + fabric, record stats,
-    /// and return the arrival time. The caller stages the `Arrive` event.
+    /// One message toward the wire: charge the egress side (control path,
+    /// source link occupancy, stats) and stage the message in the outbox
+    /// under its deterministic [`ExchangeKey`]. Ingress resolution and
+    /// the `Arrive` event happen at the next window barrier.
     #[atos_hot]
-    fn route(&mut self, at: Time, src: usize, dst: usize, n_tasks: usize, task_bytes: u64) -> Time {
-        let payload = n_tasks as u64 * task_bytes;
-        let arrival = self.fabric.transfer(
+    fn route(&mut self, at: Time, src: usize, dst: usize, tasks: Vec<A::Task>, task_bytes: u64) {
+        let payload = tasks.len() as u64 * task_bytes;
+        let xfer = self.fabric.transfer_egress(
             at,
             PeId(src as u32),
             PeId(dst as u32),
             payload,
             self.tuning.control,
         );
-        debug_assert!(
-            arrival >= self.meta_arrival[dst],
-            "payload overtook round metadata on the {src}->{dst} link"
-        );
         self.stats.messages += 1;
         self.stats.payload_bytes += payload;
-        self.stats.remote_tasks += n_tasks as u64;
+        self.stats.remote_tasks += tasks.len() as u64;
         if self.tracer.is_enabled() {
-            // Message lifecycle: a send mark on the source timeline at
-            // issue, and an arrival mark carrying the end-to-end latency
-            // on the destination timeline.
+            // Send mark on the source timeline at issue; the arrival mark
+            // is recorded when the barrier merge resolves the message.
             self.tracer.instant(
                 Track::pe(src),
                 at,
                 "send",
                 ["dst", "tasks"],
-                [dst as u64, n_tasks as u64],
-            );
-            self.tracer.instant(
-                Track::pe(dst),
-                arrival,
-                "msg",
-                ["latency_ns", "bytes"],
-                [arrival.saturating_sub(at), payload],
+                [dst as u64, tasks.len() as u64],
             );
         }
-        arrival
+        let counter = self.pes[src].emitted;
+        self.pes[src].emitted += 1;
+        self.outbox.push(StagedMsg {
+            key: ExchangeKey {
+                t_key: xfer.t_key,
+                src: src as u32,
+                counter,
+            },
+            dst,
+            xfer,
+            tasks,
+        });
     }
 
     #[atos_hot]
@@ -730,10 +879,194 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
             // size trigger; the timer fired into an empty window.
             self.stats.agg_poll_idle += 1;
         }
-        let mut pending = std::mem::take(&mut self.pending);
-        self.engine.schedule_batch(pending.drain(..));
-        self.pending = pending;
         self.schedule_agg_poll(pe);
+    }
+}
+
+impl<A: ShardableApp> Runtime<A> {
+    /// Execute to global quiescence with PEs partitioned across `k`
+    /// shards, each stepping its own engine and fabric clone on an OS
+    /// thread — conservative parallel discrete-event simulation with the
+    /// window-barrier protocol.
+    ///
+    /// The result is **byte-identical** to [`Runtime::run`]: within a
+    /// shard events execute in the same `(time, seq)` order as the
+    /// sequential run's restriction to that shard's PEs, and cross-shard
+    /// messages merge at each barrier in the shard-count-independent
+    /// [`ExchangeKey`] order. Only wall-clock time changes.
+    ///
+    /// OS threads are capped at the host's available parallelism (logical
+    /// shards beyond that share threads), so `k` larger than the machine
+    /// degrades gracefully instead of thrashing. Partitions that would
+    /// make two shards mutate one link (e.g. cross-socket traffic sharing
+    /// a Summit X-bus) fall back to the sequential path, as does `k <= 1`.
+    pub fn run_sharded(&mut self, k: usize) -> RunStats {
+        let threads = atos_queue::sync::host_parallelism().min(k.max(1));
+        self.run_sharded_on(k, threads)
+    }
+
+    /// [`Runtime::run_sharded`] with an explicit OS-thread count —
+    /// exposed so tests can force multi-thread execution (or
+    /// oversubscription) regardless of the host's core count.
+    pub fn run_sharded_on(&mut self, k: usize, threads: usize) -> RunStats {
+        let n = self.pes.len();
+        let k = k.clamp(1, n.max(1));
+        let ranges: Vec<(usize, usize)> = (0..k).map(|s| (s * n / k, (s + 1) * n / k)).collect();
+        let mut shard_of = vec![0usize; n];
+        for (s, &(lo, hi)) in ranges.iter().enumerate() {
+            shard_of[lo..hi].fill(s);
+        }
+        if k == 1 || self.fabric.shard_conflicts(&shard_of) {
+            // Identical output by construction — the sequential window
+            // loop runs the same schedule on one engine.
+            return self.run();
+        }
+        let threads = threads.clamp(1, k);
+        let lookahead = self.lookahead();
+
+        // One sub-runtime per shard: forked application state, a fabric
+        // clone (each link is mutated by exactly one shard — checked
+        // above), and the parent's seeded queues moved in for owned PEs.
+        let mut subs: Vec<Runtime<A>> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let mut sub = Runtime::with_tracer(
+                    self.app.fork(lo, hi),
+                    self.fabric.clone(),
+                    self.cfg,
+                    self.cost,
+                    self.tuning,
+                    NullTracer,
+                );
+                for pe in lo..hi {
+                    std::mem::swap(&mut sub.pes[pe].queue, &mut self.pes[pe].queue);
+                }
+                sub.bootstrap(lo, hi);
+                sub
+            })
+            .collect();
+
+        let board: ExchangeBoard<StagedMsg<A::Task>> = ExchangeBoard::new(k);
+        let barrier = SpinBarrier::new(threads);
+        let next_times: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+
+        // Contiguous shard groups per thread; each thread steps its own
+        // shards sequentially within every phase.
+        {
+            let mut groups: Vec<(usize, &mut [Runtime<A>])> = Vec::with_capacity(threads);
+            let mut rest: &mut [Runtime<A>] = &mut subs;
+            let mut start = 0;
+            for t in 0..threads {
+                let end = (t + 1) * k / threads;
+                let (g, r) = rest.split_at_mut(end - start);
+                groups.push((start, g));
+                rest = r;
+                start = end;
+            }
+            let board = &board;
+            let barrier = &barrier;
+            let next_times = &next_times[..];
+            let shard_of = &shard_of[..];
+            thread::scope(|scope| {
+                for (base, group) in groups {
+                    scope.spawn(move || {
+                        shard_worker(base, group, board, barrier, next_times, shard_of, lookahead)
+                    });
+                }
+            });
+        }
+
+        // Fold the shards back: stats and traces are sums over events that
+        // each happened on exactly one shard, so the merge reconstructs
+        // the sequential run's numbers exactly (peak pending events, a
+        // high-water mark, merges as the sum of per-shard peaks — a
+        // documented upper bound).
+        let mut elapsed: Time = 0;
+        for (s, mut sub) in subs.into_iter().enumerate() {
+            let (lo, hi) = ranges[s];
+            sub.stats.elapsed_ns = sub.engine.now();
+            sub.stats.sim_events = sub.engine.processed();
+            sub.stats.peak_pending_events = sub.engine.max_pending() as u64;
+            elapsed = elapsed.max(sub.engine.now());
+            self.stats.absorb(&sub.stats);
+            self.fabric.absorb(&sub.fabric);
+            self.app.join(sub.into_app(), lo, hi);
+        }
+        self.stats.elapsed_ns = elapsed;
+        self.fabric.trace.finish(elapsed);
+        self.stats.wire_bytes = self.fabric.trace.total_wire_bytes();
+        self.stats.burstiness = self.fabric.trace.burstiness();
+        self.stats.clone()
+    }
+}
+
+/// One thread's share of the window-barrier protocol: step the owned
+/// shards through publish → barrier → merge → barrier → window, forever,
+/// until every shard's engine drains.
+///
+/// Two barriers per window suffice: the first orders publish before
+/// drain, the second orders this window's drains (and `next_times`
+/// stores) before the next window's publishes — and window execution
+/// itself never touches the board.
+fn shard_worker<A: ShardableApp>(
+    base: usize,
+    group: &mut [Runtime<A>],
+    board: &ExchangeBoard<StagedMsg<A::Task>>,
+    barrier: &SpinBarrier,
+    next_times: &[AtomicU64],
+    shard_of: &[usize],
+    lookahead: Time,
+) {
+    let k = board.shards();
+    // Reusable per-shard row/inbox buffers; vectors circulate between
+    // these and the board's slots via swap, so the steady state allocates
+    // nothing.
+    let mut rows: Vec<Vec<Vec<StagedMsg<A::Task>>>> = group
+        .iter()
+        .map(|_| (0..k).map(|_| Vec::new()).collect())
+        .collect();
+    let mut inboxes: Vec<Vec<StagedMsg<A::Task>>> = group.iter().map(|_| Vec::new()).collect();
+    loop {
+        // Publish: split each owned shard's outbox by destination shard
+        // and swap the rows onto the board.
+        for (i, sub) in group.iter_mut().enumerate() {
+            let s = base + i;
+            for msg in sub.outbox.drain(..) {
+                rows[i][shard_of[msg.dst]].push(msg);
+            }
+            for (dst_shard, row) in rows[i].iter_mut().enumerate() {
+                board.publish(s, dst_shard, row);
+            }
+        }
+        barrier.wait();
+        // Drain + merge: collect each owned shard's column, merge it into
+        // the shard's engine in ExchangeKey order, and announce the
+        // shard's next event time.
+        for (i, sub) in group.iter_mut().enumerate() {
+            let s = base + i;
+            let inbox = &mut inboxes[i];
+            for src_shard in 0..k {
+                board.drain(src_shard, s, inbox);
+            }
+            sub.merge_records(inbox);
+            let next = sub.engine.peek_time().unwrap_or(Time::MAX);
+            next_times[s].store(next, Ordering::Release);
+        }
+        barrier.wait();
+        // Window: every thread derives the same global horizon from the
+        // published next-event times.
+        let t_min = next_times
+            .iter()
+            .map(|t| t.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(Time::MAX);
+        if t_min == Time::MAX {
+            break;
+        }
+        let horizon = t_min.saturating_add(lookahead);
+        for sub in group.iter_mut() {
+            sub.run_window(horizon);
+        }
     }
 }
 
@@ -1249,5 +1582,95 @@ mod tests {
         rt.seed(0, [5u32, 1, 3, 0, 2, 4]);
         rt.run();
         assert_eq!(rt.app().order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    impl ShardableApp for Relay {
+        fn fork(&self, _lo: usize, _hi: usize) -> Self {
+            Relay {
+                n_pes: self.n_pes,
+                processed: 0,
+                received: 0,
+            }
+        }
+        fn join(&mut self, shard: Self, _lo: usize, _hi: usize) {
+            self.processed += shard.processed;
+            self.received += shard.received;
+        }
+    }
+
+    impl ShardableApp for FanOut {
+        fn fork(&self, _lo: usize, _hi: usize) -> Self {
+            FanOut { width: self.width }
+        }
+        fn join(&mut self, _shard: Self, _lo: usize, _hi: usize) {}
+    }
+
+    /// Compare two runs field by field. `peak_pending_events` is excluded:
+    /// for K > 1 it is the sum of per-shard maxima, an upper bound that is
+    /// not required to equal the sequential global maximum.
+    fn assert_runs_identical(a: &RunStats, b: &RunStats, what: &str) {
+        let scrub = |s: &RunStats| {
+            let mut s = s.clone();
+            s.peak_pending_events = 0;
+            format!("{s:?}")
+        };
+        assert_eq!(scrub(a), scrub(b), "{what}: sharded run diverged");
+    }
+
+    #[test]
+    fn sharded_relay_matches_sequential_byte_for_byte() {
+        let hops = 61u32; // odd, so traffic is asymmetric across PEs
+        let baseline = {
+            let mut rt = daisy_runtime(4, AtosConfig::standard_persistent());
+            rt.seed(0, [hops]);
+            rt.run()
+        };
+        // Uneven splits (4 PEs over 3 shards → 1/1/2) and real threads
+        // both included; threads may exceed cores — the barrier yields.
+        for (k, threads) in [(2, 1), (2, 2), (3, 2), (4, 2), (4, 4)] {
+            let mut rt = daisy_runtime(4, AtosConfig::standard_persistent());
+            rt.seed(0, [hops]);
+            let s = rt.run_sharded_on(k, threads);
+            assert_runs_identical(&baseline, &s, &format!("relay k={k} t={threads}"));
+            assert_eq!(rt.app().processed, hops as u64 + 1);
+            assert_eq!(rt.app().received, hops as u64);
+        }
+    }
+
+    #[test]
+    fn sharded_aggregated_fanout_matches_sequential() {
+        // Aggregated IB mode: flush windows, polls, and bundle traffic all
+        // cross the shard boundary.
+        let go = |k: Option<(usize, usize)>| {
+            let mut rt = Runtime::new(
+                FanOut { width: 700 },
+                Fabric::ib_cluster(4),
+                AtosConfig::ib_pagerank(),
+            );
+            rt.seed(0, [(0u32, true)]);
+            match k {
+                None => rt.run(),
+                Some((k, threads)) => rt.run_sharded_on(k, threads),
+            }
+        };
+        let baseline = go(None);
+        for (k, threads) in [(2, 2), (4, 2), (4, 4)] {
+            let s = go(Some((k, threads)));
+            assert_runs_identical(&baseline, &s, &format!("fanout k={k} t={threads}"));
+        }
+    }
+
+    #[test]
+    fn sharded_k1_is_the_sequential_engine() {
+        // k = 1 (and any k on a single PE) must take the sequential path
+        // exactly — same object code, same stats, no threads.
+        let mut a = daisy_runtime(4, AtosConfig::standard_persistent());
+        a.seed(0, [25u32]);
+        let sa = a.run();
+        let mut b = daisy_runtime(4, AtosConfig::standard_persistent());
+        b.seed(0, [25u32]);
+        let sb = b.run_sharded(1);
+        assert_runs_identical(&sa, &sb, "k=1");
+        assert_eq!(sa.peak_pending_events, sb.peak_pending_events);
     }
 }

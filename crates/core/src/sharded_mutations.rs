@@ -1,0 +1,61 @@
+// lint:skip-file — this module exists to carry a deliberately seeded bug.
+//! Mutation twin of [`crate::sharded::SpinBarrier`]: the generation flip
+//! weakened to `Relaxed` in both directions.
+//!
+//! The real barrier's soundness rests on exactly one edge: the last
+//! arrival's `Release` store of the new generation, paired with every
+//! waiter's `Acquire` load. Weaken that pair and the barrier still
+//! *arrives* correctly (the `fetch_add` keeps counting), but it no longer
+//! publishes the pre-barrier cell writes — so an [`crate::ExchangeBoard`]
+//! drain races with the publish it was supposed to be ordered after. The
+//! `atos-check` exchange-model suite asserts the checker reports that
+//! race with a deterministic, replayable schedule, while the unmutated
+//! barrier passes the identical driver. Compiled only under
+//! `--cfg atos_check`; never part of a production build.
+
+use atos_queue::sync::{hint, thread, AtomicUsize, Ordering};
+
+/// Spin budget mirroring the production barrier.
+const SPIN_LIMIT: u32 = 64;
+
+/// [`crate::sharded::SpinBarrier`] with the generation store/load pair
+/// weakened `Release`/`Acquire` → `Relaxed`/`Relaxed`.
+pub struct RelaxedBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    n: usize,
+}
+
+impl RelaxedBarrier {
+    /// Barrier for `n >= 1` parties (mirrors `SpinBarrier::new`).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "barrier needs at least one party");
+        RelaxedBarrier {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            n,
+        }
+    }
+
+    /// `SpinBarrier::wait` with the happens-before edge removed.
+    pub fn wait(&self) {
+        let gen = self.generation.load(Ordering::Relaxed);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            // BUG (mutation): Release → Relaxed. The generation still
+            // advances, but no longer publishes pre-barrier writes.
+            self.generation.store(gen + 1, Ordering::Relaxed);
+            return;
+        }
+        let mut spins = 0u32;
+        // BUG (mutation): Acquire → Relaxed on the waiters' side too.
+        while self.generation.load(Ordering::Relaxed) == gen {
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                hint::spin_loop();
+            } else {
+                thread::yield_now();
+            }
+        }
+    }
+}

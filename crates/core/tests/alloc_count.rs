@@ -14,7 +14,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 // instrument depend on the machinery it is measuring around.
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use atos_core::{Application, AtosConfig, CommMode, Emitter, NullTracer, Runtime, RuntimeTuning};
+use atos_core::{
+    Application, AtosConfig, CommMode, Emitter, NullTracer, Runtime, RuntimeTuning, ShardableApp,
+};
 use atos_sim::Fabric;
 use atos_sim::GpuCostModel;
 
@@ -76,6 +78,14 @@ impl Application for Relay {
     fn task_edges(&self, _t: &u32) -> u64 {
         1
     }
+}
+
+impl ShardableApp for Relay {
+    fn fork(&self, _lo: usize, _hi: usize) -> Self {
+        Relay { n_pes: self.n_pes }
+    }
+
+    fn join(&mut self, _shard: Self, _lo: usize, _hi: usize) {}
 }
 
 /// Both scenarios live in one test so the process-global counter is never
@@ -182,6 +192,32 @@ fn steady_state_send_paths_do_not_allocate_per_task() {
         during, 0,
         "steady-state engine churn must not allocate (schedule→pop is arena-recycled)"
     );
+
+    // Sharded window-barrier mode: the same 20k-hop relay split across two
+    // shards on two real threads. Every hop crosses the shard boundary, so
+    // each window runs the full publish → barrier → drain → merge cycle.
+    // Vector capacities circulate between the shard outboxes and the
+    // exchange-board slots by swap/append, so after warm-up (thread spawn,
+    // sub-runtime forks, board and buffer growth) the per-window cost must
+    // be allocation-free — a per-hop leak would blow this budget ~20x.
+    let mut rt = Runtime::new(
+        Relay { n_pes: 2 },
+        Fabric::daisy(2),
+        AtosConfig {
+            comm: CommMode::Direct { group: 32 },
+            ..AtosConfig::standard_persistent()
+        },
+    );
+    rt.seed(0, [HOPS]);
+    let before = alloc_calls();
+    let stats = rt.run_sharded_on(2, 2);
+    let during = alloc_calls() - before;
+    assert_eq!(stats.messages, HOPS as u64);
+    assert!(
+        during < 3_000,
+        "sharded mode: {during} allocations for {HOPS} cross-shard messages \
+         (expected warm-up only; exchange buffers must recycle)"
+    );
 }
 
 /// Extract the names of `#[atos_hot]`-annotated functions from a source
@@ -230,10 +266,13 @@ fn every_hot_runtime_fn_is_covered_by_a_counted_scenario() {
         ("stage_arrival", "both relays: every arrival staged (merge check per message)"),
         ("schedule_agg_poll", "aggregated relay: poll armed per open bundle"),
         ("agg_poll", "aggregated relay: age-trigger poll per bundle"),
+        ("run_window", "all relays: every execution window drains through it"),
+        ("merge_records", "all relays: staged messages merged at every window boundary"),
     ];
     const COVERED_ENGINE: &[(&str, &str)] = &[
         ("schedule_at", "engine churn scenario + every relay event"),
         ("pop", "engine churn scenario + both relays' event loops"),
+        ("pop_before", "all relays: every window pop is horizon-bounded"),
     ];
 
     let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));

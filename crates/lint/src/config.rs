@@ -76,6 +76,14 @@ impl Config {
                 // atos-check models *broken* protocols on purpose
                 // (negative self-tests for the race detector).
                 "crates/check/",
+                // ExchangeBoard's cell writes are published by the
+                // SpinBarrier's AcqRel generation flip *between* the
+                // publish and drain phases — a cross-function protocol
+                // the intra-function dataflow rule cannot see. The
+                // protocol itself is model-checked by atos-check's
+                // exchange model (and its seeded-mutation twin proves
+                // the checker would catch a relaxed barrier).
+                "crates/core/src/sharded.rs",
             ],
             hot_denylist: &[
                 HotDenyEntry {
@@ -117,6 +125,8 @@ impl Config {
                         "route",
                         "arrive",
                         "stage_arrival",
+                        "run_window",
+                        "merge_records",
                     ],
                     forbid_index: false,
                 },
@@ -128,6 +138,7 @@ impl Config {
                     fns: &[
                         "schedule_at",
                         "pop",
+                        "pop_before",
                         "place",
                         "arena_insert",
                         "advance",
@@ -144,6 +155,13 @@ impl Config {
                     // exists); the protocol loop is the extracted `worker`.
                     file_suffix: "crates/core/src/host.rs",
                     fns: &["worker"],
+                    forbid_index: false,
+                },
+                KernelScope {
+                    // The conservative-PDES horizon computation: every
+                    // execution window of every shard passes through it.
+                    file_suffix: "crates/sim/src/sharded.rs",
+                    fns: &["safe_horizon"],
                     forbid_index: false,
                 },
             ],

@@ -74,6 +74,13 @@ mod imp {
             park_timeout, scope, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle,
         };
     }
+
+    /// Hardware threads available to this process (1 when unknown).
+    pub fn host_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
 }
 
 #[cfg(atos_check)]
@@ -100,6 +107,12 @@ mod imp {
         pub fn park_timeout(_dur: core::time::Duration) {
             yield_now();
         }
+    }
+
+    /// Fixed small parallelism under the model checker: enough to exercise
+    /// multi-thread protocols without exploding the interleaving space.
+    pub fn host_parallelism() -> usize {
+        2
     }
 }
 

@@ -118,6 +118,30 @@ enum Route {
     TwoStage { egress: usize, ingress: usize, net_latency_ns: u64 },
 }
 
+/// A transfer whose source-side costs have been charged but whose
+/// destination-side serialization (if any) is still owed.
+///
+/// Produced by [`Fabric::transfer_egress`], consumed by
+/// [`Fabric::resolve_ingress`]. Splitting the transfer this way lets a
+/// sharded simulation charge the egress on the sender's fabric clone
+/// during its window and the ingress on the receiver's clone at the
+/// window barrier — each link is then mutated by exactly one shard.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingTransfer {
+    /// Earliest possible delivery at the destination side: the full
+    /// arrival time for routes with no ingress stage, or the first-byte
+    /// time at the ingress link otherwise. This is the deterministic
+    /// cross-shard ordering key — it is fixed at egress time and
+    /// independent of destination-side link state.
+    pub t_key: Time,
+    /// When the source issued the message (for tracing).
+    pub issued: Time,
+    /// Payload bytes carried.
+    pub payload: u64,
+    /// Ingress link still owed serialization at the destination.
+    ingress: Option<usize>,
+}
+
 /// A simulated interconnect: links + routes + traffic trace.
 ///
 /// ```
@@ -128,7 +152,7 @@ enum Route {
 /// assert!(arrival > 700);
 /// assert_eq!(daisy.trace.total_messages(), 1);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Fabric {
     n_pes: usize,
     links: Vec<Link>,
@@ -268,6 +292,9 @@ impl Fabric {
     /// Send `payload` bytes from `src` to `dst` starting at `now`; charges
     /// the control path, serializes on the route's links, and returns the
     /// arrival time at the destination PE.
+    ///
+    /// Equivalent to [`Fabric::transfer_egress`] immediately followed by
+    /// [`Fabric::resolve_ingress`] on the same fabric.
     pub fn transfer(
         &mut self,
         now: Time,
@@ -276,15 +303,34 @@ impl Fabric {
         payload: u64,
         control: ControlPath,
     ) -> Time {
+        let pending = self.transfer_egress(now, src, dst, payload, control);
+        self.resolve_ingress(&pending)
+    }
+
+    /// Charge the source-side costs of a transfer (control path, egress
+    /// serialization, network/propagation latency) and return the owed
+    /// destination-side work as a [`PendingTransfer`].
+    ///
+    /// For routes without a separate ingress stage (direct NVLink, shared
+    /// X-bus) the returned `t_key` already is the arrival time and
+    /// [`Fabric::resolve_ingress`] is a no-op returning it.
+    pub fn transfer_egress(
+        &mut self,
+        now: Time,
+        src: PeId,
+        dst: PeId,
+        payload: u64,
+        control: ControlPath,
+    ) -> PendingTransfer {
         let route = self.routes[src.idx() * self.n_pes + dst.idx()]
             .unwrap_or_else(|| panic!("no route {src:?} -> {dst:?}"));
         let start = now + control.inject_ns;
-        let arrival = match route {
+        let (t_key, ingress) = match route {
             Route::Direct(l) => {
                 let end = self.links[l].occupy(start, payload);
                 let lat = self.links[l].latency_ns;
                 self.trace.record_link(l, end, self.links[l].packet.wire_bytes(payload));
-                end + lat
+                (end + lat, None)
             }
             Route::TwoStage {
                 egress,
@@ -300,23 +346,112 @@ impl Fabric {
                 if egress == ingress {
                     // Shared single bottleneck (X-bus): no second
                     // serialization of the same bytes.
-                    e_end + net_latency_ns
+                    (e_end + net_latency_ns, None)
                 } else {
                     // Pipelined: ingress starts receiving when the first
                     // byte arrives.
-                    let first_byte = e_end.saturating_sub(e_wire) + net_latency_ns;
-                    let i_end = self.links[ingress].occupy(first_byte, payload);
-                    self.trace.record_link(
-                        ingress,
-                        i_end,
-                        self.links[ingress].packet.wire_bytes(payload),
-                    );
-                    i_end
+                    (e_end.saturating_sub(e_wire) + net_latency_ns, Some(ingress))
                 }
             }
         };
         self.trace.record_message(payload);
-        arrival
+        PendingTransfer {
+            t_key,
+            issued: now,
+            payload,
+            ingress,
+        }
+    }
+
+    /// Charge the destination-side serialization of a transfer started
+    /// with [`Fabric::transfer_egress`] and return the arrival time.
+    ///
+    /// In a sharded run this is called on the *destination* shard's
+    /// fabric, in deterministic merged order, so ingress-link contention
+    /// resolves identically to a sequential run.
+    pub fn resolve_ingress(&mut self, pending: &PendingTransfer) -> Time {
+        match pending.ingress {
+            None => pending.t_key,
+            Some(ingress) => {
+                let i_end = self.links[ingress].occupy(pending.t_key, pending.payload);
+                self.trace.record_link(
+                    ingress,
+                    i_end,
+                    self.links[ingress].packet.wire_bytes(pending.payload),
+                );
+                i_end
+            }
+        }
+    }
+
+    /// Minimum latency of any remote route, in ns: the conservative
+    /// lookahead for parallel simulation (no event can affect another PE
+    /// sooner than the fastest link can carry a message). `None` when the
+    /// fabric has no routes at all (single PE).
+    pub fn min_remote_latency_ns(&self) -> Option<Time> {
+        self.routes
+            .iter()
+            .flatten()
+            .map(|r| match r {
+                Route::Direct(l) => self.links[*l].latency_ns,
+                Route::TwoStage { net_latency_ns, .. } => *net_latency_ns,
+            })
+            .min()
+    }
+
+    /// Whether the PE→shard assignment `shard_of` would make two shards
+    /// mutate the same link. Egress links (and direct links, and shared
+    /// single-bottleneck routes) are charged by the *source* shard;
+    /// separate ingress links by the *destination* shard. A conflicting
+    /// partition cannot run its windows in parallel without losing
+    /// byte-identical link serialization, so callers fall back to one
+    /// shard.
+    pub fn shard_conflicts(&self, shard_of: &[usize]) -> bool {
+        assert_eq!(shard_of.len(), self.n_pes, "shard map must cover every PE");
+        let mut owner: Vec<Option<usize>> = vec![None; self.links.len()];
+        let claim = |owner: &mut Vec<Option<usize>>, link: usize, shard: usize| -> bool {
+            match owner[link] {
+                None => {
+                    owner[link] = Some(shard);
+                    false
+                }
+                Some(prev) => prev != shard,
+            }
+        };
+        for s in 0..self.n_pes {
+            for d in 0..self.n_pes {
+                let Some(route) = self.routes[s * self.n_pes + d] else {
+                    continue;
+                };
+                let conflict = match route {
+                    Route::Direct(l) => claim(&mut owner, l, shard_of[s]),
+                    Route::TwoStage { egress, ingress, .. } => {
+                        claim(&mut owner, egress, shard_of[s])
+                            || (ingress != egress && claim(&mut owner, ingress, shard_of[d]))
+                    }
+                };
+                if conflict {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Fold another clone's link counters and trace into this fabric.
+    ///
+    /// After a sharded run each link was mutated by exactly one shard's
+    /// clone, so summing byte/message counters (and taking the max of
+    /// occupancy frontiers) reconstructs exactly the totals a sequential
+    /// run would have recorded.
+    pub fn absorb(&mut self, other: &Fabric) {
+        assert_eq!(self.links.len(), other.links.len(), "absorb: topology mismatch");
+        for (l, o) in self.links.iter_mut().zip(&other.links) {
+            l.next_free = l.next_free.max(o.next_free);
+            l.bytes_carried += o.bytes_carried;
+            l.messages += o.messages;
+        }
+        self.trace.absorb(&other.trace);
     }
 
     /// Latency + serialization estimate for an uncontended transfer (used

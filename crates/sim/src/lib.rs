@@ -28,6 +28,9 @@
 //!   paper's headline variable.
 //! * [`trace`] — per-link utilization timelines and message-size
 //!   histograms, used to show communication smoothing.
+//! * [`sharded`] — conservative-lookahead decomposition of the engine
+//!   into per-shard wheels with a deterministic cross-shard merge rule,
+//!   the substrate for parallel host execution in `atos-core`.
 
 #![warn(missing_docs)]
 
@@ -35,12 +38,14 @@ pub mod engine;
 pub mod gpu;
 pub mod interconnect;
 pub mod packet;
+pub mod sharded;
 pub mod trace;
 
 pub use engine::{Engine, Time};
 pub use gpu::GpuCostModel;
-pub use interconnect::{ControlPath, Fabric, PeId};
+pub use interconnect::{ControlPath, Fabric, PeId, PendingTransfer};
 pub use packet::PacketModel;
+pub use sharded::{safe_horizon, ExchangeKey, ShardedEngine};
 
 /// Nanoseconds per millisecond, for reporting.
 pub const NS_PER_MS: f64 = 1e6;

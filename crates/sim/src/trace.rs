@@ -97,6 +97,32 @@ impl FabricTrace {
         }
     }
 
+    /// Fold another trace's records into this one.
+    ///
+    /// Every statistic in a trace is a sum over individual `record_*`
+    /// calls, so merging per-shard traces (each record happened on exactly
+    /// one shard) reconstructs the sequential trace exactly.
+    pub fn absorb(&mut self, other: &FabricTrace) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        for (h, o) in self.size_hist.iter_mut().zip(&other.size_hist) {
+            *h += o;
+        }
+        self.total_messages += other.total_messages;
+        self.total_wire_bytes += other.total_wire_bytes;
+        self.total_payload_bytes += other.total_payload_bytes;
+        if other.per_link.len() > self.per_link.len() {
+            self.per_link.resize(other.per_link.len(), 0);
+        }
+        for (p, o) in self.per_link.iter_mut().zip(&other.per_link) {
+            *p += o;
+        }
+    }
+
     /// Total messages recorded.
     pub fn total_messages(&self) -> u64 {
         self.total_messages

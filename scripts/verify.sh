@@ -47,6 +47,24 @@ grep -q '"table2_bfs_nvlink@verify@smoke"' "$tmp/sweep.json" || {
 echo "ok: --run-id keys sweep report entries"
 
 echo
+echo "== sharded engine smoke (--sim-threads 4, byte-identity vs sequential) =="
+# The K-shard conservative-PDES engine must be byte-identical to the
+# sequential run (DESIGN.md §8); the sweep entry must record sim_threads.
+./target/release/fig5_scaling_nvlink --quick --threads 1 --sim-threads 4 \
+    --json "$tmp/sweep.json" > "$tmp/fig5_scaling_nvlink.sharded.out" 2> /dev/null
+if ! cmp -s "$tmp/fig5_scaling_nvlink.serial.out" "$tmp/fig5_scaling_nvlink.sharded.out"; then
+    echo "FAIL: fig5_scaling_nvlink differs between --sim-threads 1 and 4" >&2
+    diff "$tmp/fig5_scaling_nvlink.serial.out" "$tmp/fig5_scaling_nvlink.sharded.out" | head >&2
+    exit 1
+fi
+echo "ok: fig5_scaling_nvlink byte-identical across shard counts"
+grep -q '"sim_threads": 4' "$tmp/sweep.json" || {
+    echo "FAIL: sweep report entry missing sim_threads field" >&2
+    exit 1
+}
+echo "ok: sweep report records sim_threads"
+
+echo
 echo "== golden byte-compare (committed quick outputs pin determinism) =="
 for pair in "fig5_scaling_nvlink:results/fig5_quick.txt" "table5_ib:results/table5_quick.txt"; do
     bin="${pair%%:*}"; golden="${pair#*:}"
@@ -60,14 +78,16 @@ done
 
 echo
 echo "== bench trajectory (engine microbench + e2e smoke, regression gate) =="
-# Re-measures the wheel-vs-heap microbench and the fig5/fig8 quick
-# workloads, then gates against the last committed entries in
-# results/BENCH_trajectory.json. Thresholds are loose (shared hosts are
-# noisy); the wheel-vs-heap ratio is load-relative and therefore stable.
+# Re-measures the wheel-vs-heap microbench, the fig5/fig8 quick
+# workloads, and the shard-scaling curve, then gates against the last
+# committed entries in results/BENCH_trajectory.json. Thresholds are
+# loose (shared hosts are noisy); the ratios are load-relative and
+# therefore stable. The shard floor self-gates on host core count —
+# a 1-core host records a flat curve instead of failing.
 ./target/release/bench_trajectory \
     --sha "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     --stamp "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-    --samples 3 --min-speedup 1.5 --deny-regression 60
+    --samples 3 --min-speedup 1.5 --min-shard-speedup 1.6 --deny-regression 60
 echo "ok: trajectory gate passed"
 
 echo
