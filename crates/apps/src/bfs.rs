@@ -27,8 +27,8 @@
 use std::sync::Arc;
 
 use atos_core::{
-    Application, AtosConfig, Emitter, NullTracer, RunStats, Runtime, RuntimeTuning, ShardableApp,
-    Tracer,
+    Application, AtosConfig, Emitter, NullTracer, RunStats, Runtime, RuntimeTuning, ShardProfile,
+    ShardableApp, Tracer,
 };
 use atos_graph::csr::{Csr, VertexId};
 use atos_graph::partition::Partition;
@@ -231,6 +231,42 @@ pub fn run_bfs_sharded(
         depth: app.depth,
         reachable,
     }
+}
+
+/// [`run_bfs_sharded`] with the full observability surface: a tracer
+/// collecting the virtual-time timeline (per-PE/aggregation tracks plus
+/// the sharded runtime's per-shard `window`/`exchange` tracks) and the
+/// run's [`ShardProfile`] — per-shard window histograms, flight-recorder
+/// rings, barrier-wait and imbalance telemetry. The profile is `None`
+/// when the run fell back to the sequential path (`shards <= 1` or a
+/// shard-conflicting fabric). Results remain byte-identical to
+/// [`run_bfs`].
+pub fn run_bfs_sharded_profiled(
+    graph: Arc<Csr>,
+    partition: Arc<Partition>,
+    source: VertexId,
+    fabric: Fabric,
+    cfg: AtosConfig,
+    shards: usize,
+    tracer: &mut dyn Tracer,
+) -> (BfsRun, Option<ShardProfile>) {
+    assert_eq!(partition.n_parts(), fabric.n_pes(), "partition/fabric size");
+    let app = BfsApp::new(graph, partition.clone(), source);
+    let cost = atos_sim::GpuCostModel::v100();
+    let mut rt = Runtime::with_tracer(app, fabric, cfg, cost, RuntimeTuning::default(), tracer);
+    rt.seed(partition.owner(source), [(source, 0u32)]);
+    let stats = rt.run_sharded(shards);
+    let profile = rt.take_shard_profile();
+    let app = rt.into_app();
+    let reachable = app.reached() as u64;
+    (
+        BfsRun {
+            stats,
+            depth: app.depth,
+            reachable,
+        },
+        profile,
+    )
 }
 
 fn run_bfs_on<Tr: Tracer>(
@@ -470,6 +506,61 @@ mod tests {
                 assert_eq!(sh.stats.tasks_per_pe, seq.stats.tasks_per_pe, "k={k} tasks");
                 assert_eq!(sh.stats.sim_events, seq.stats.sim_events, "k={k} events");
             }
+        }
+    }
+
+    #[test]
+    fn sharded_profiled_trace_matches_sequential_after_shard_filter() {
+        // Observability must be observation-only: with a tracer attached,
+        // the sharded run's per-PE/aggregation timeline is byte-identical
+        // to the sequential traced run once the shard-local bookkeeping
+        // tracks are filtered out, and the profile accounts for every
+        // simulated event.
+        use atos_core::{TraceBuffer, Track};
+        use atos_trace::perfetto::to_chrome_json;
+        let p = Preset::by_name("hollywood_2009_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let src = p.bfs_source(&g);
+        let part = Arc::new(Partition::random(g.n_vertices(), 4, 5));
+        let fabric = Fabric::ib_cluster(4);
+        let cfg = AtosConfig::ib_bfs();
+        let mut seq_buf = TraceBuffer::new();
+        let seq = run_bfs_traced(
+            g.clone(),
+            part.clone(),
+            src,
+            fabric.clone(),
+            cfg,
+            &mut seq_buf,
+        );
+        let seq_json = to_chrome_json(&seq_buf);
+        for k in [2, 4] {
+            let mut buf = TraceBuffer::new();
+            let (run, profile) = run_bfs_sharded_profiled(
+                g.clone(),
+                part.clone(),
+                src,
+                fabric.clone(),
+                cfg,
+                k,
+                &mut buf,
+            );
+            assert_eq!(run.depth, seq.depth, "k={k} depths");
+            assert_eq!(run.stats.elapsed_ns, seq.stats.elapsed_ns, "k={k} time");
+            let profile = profile.expect("sharded path collects a profile");
+            assert_eq!(profile.shards.len(), k, "k={k} telemetry shards");
+            let events: u64 = profile.shards.iter().map(|s| s.events).sum();
+            assert_eq!(events, run.stats.sim_events, "k={k} event accounting");
+            assert!(
+                buf.events().iter().any(|e| e.track == Track::shard(0)),
+                "k={k} shard tracks present"
+            );
+            buf.retain(|e| (0..k).all(|s| e.track != Track::shard(s)));
+            assert_eq!(
+                to_chrome_json(&buf),
+                seq_json,
+                "k={k} filtered timeline identical"
+            );
         }
     }
 

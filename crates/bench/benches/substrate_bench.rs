@@ -177,6 +177,7 @@ fn main() {
         json: None,
         trace: None,
         metrics: None,
+        flight_dump: None,
         run_id: None,
     };
     let report = SweepReport::start("substrate_bench", &args);

@@ -127,6 +127,9 @@ fn print_metrics(kind: &str, metrics: &BTreeMap<String, f64>) {
             println!("  {k:<24} {v:>12.3} ms");
         } else if k.ends_with("_speedup_x") {
             println!("  {k:<24} {v:>12.2} x");
+        } else if v.fract() != 0.0 {
+            // Fractional diagnostics (barrier_frac, imbalance ratios).
+            println!("  {k:<24} {v:>12.3}");
         } else {
             println!("  {k:<24} {v:>12.0}");
         }

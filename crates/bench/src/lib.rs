@@ -21,10 +21,12 @@ use std::sync::Arc;
 use atos_core::RunStats;
 
 pub mod observability;
+pub mod profile;
 pub mod sweep;
 pub mod trajectory;
 
 pub use observability::emit_artifacts;
+pub use profile::render_report;
 pub use sweep::{BenchArgs, SweepReport, SweepRunner};
 
 use atos_apps::bfs::run_bfs_sharded;

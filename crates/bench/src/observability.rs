@@ -22,8 +22,8 @@
 
 use std::path::Path;
 
-use atos_apps::bfs::run_bfs_traced;
-use atos_core::AtosConfig;
+use atos_apps::bfs::{run_bfs_sharded_profiled, run_bfs_traced};
+use atos_core::{AtosConfig, ShardProfile};
 use atos_graph::generators::{Preset, Scale};
 use atos_queue::bench_harness::{run as queue_probe, Experiment, QueueKind};
 use atos_sim::Fabric;
@@ -41,15 +41,29 @@ const PROBE_VIRTUAL_THREADS: usize = 1024;
 /// No-op (and allocation-free) when both are unset. Output goes to the
 /// requested files plus stderr only — stdout stays reserved for tables.
 pub fn emit_artifacts(args: &BenchArgs) {
-    if args.trace.is_none() && args.metrics.is_none() {
+    if args.trace.is_none() && args.metrics.is_none() && args.flight_dump.is_none() {
         return;
     }
-    let (buf, reg) = reference_run(args.scale);
+    // `--sim-threads K > 1` switches the reference run onto the sharded
+    // window-barrier runtime so the artifacts carry per-shard detail
+    // (shard tracks in the trace, `shard<k>.*` / `sharded.*` metrics,
+    // flight-recorder rings) instead of silently dropping it.
+    let (buf, reg, profile) = reference_run_sharded(args.scale, args.sim_threads);
     if let Some(path) = &args.trace {
         write_artifact(path, &perfetto::to_chrome_json(&buf), "trace");
     }
     if let Some(path) = &args.metrics {
         write_artifact(path, &reg.to_json(), "metrics");
+    }
+    if let Some(path) = &args.flight_dump {
+        match &profile {
+            Some(p) => write_artifact(path, &p.flight_json(), "flight recorder"),
+            None => eprintln!(
+                "[observability] warning: --flight-dump needs --sim-threads K > 1 \
+                 (sequential runs keep no flight recorder); skipping {}",
+                path.display()
+            ),
+        }
     }
 }
 
@@ -59,25 +73,57 @@ pub fn emit_artifacts(args: &BenchArgs) {
 /// send/arrive instants, size- and age-triggered flushes, and occupancy
 /// counters all appear. Returns the raw trace and the filled registry.
 pub fn reference_run(scale: Scale) -> (TraceBuffer, MetricsRegistry) {
+    let (buf, reg, _) = reference_run_sharded(scale, 1);
+    (buf, reg)
+}
+
+/// [`reference_run`] on the sharded window-barrier runtime with `k`
+/// engine shards (`k <= 1` falls back to the sequential engine and
+/// returns no profile). The simulated results and the per-PE/aggregation
+/// timeline are byte-identical to the sequential run; the trace
+/// additionally carries per-shard `window`/`exchange` tracks, the
+/// registry gains the `shard<i>.*` / `sharded.*` namespaces from
+/// [`ShardProfile::fill_metrics`], and the returned profile holds the
+/// flight-recorder rings for `--flight-dump`.
+pub fn reference_run_sharded(
+    scale: Scale,
+    k: usize,
+) -> (TraceBuffer, MetricsRegistry, Option<ShardProfile>) {
     let ds = Dataset::build(
         Preset::by_name("soc-LiveJournal1_s").expect("preset table"),
         scale,
     );
     let part = ds.partition(4);
     let mut buf = TraceBuffer::new();
-    let run = run_bfs_traced(
-        ds.graph.clone(),
-        part,
-        ds.source,
-        Fabric::ib_cluster(4),
-        AtosConfig::ib_bfs(),
-        &mut buf,
-    );
+    let (run, profile) = if k > 1 {
+        run_bfs_sharded_profiled(
+            ds.graph.clone(),
+            part,
+            ds.source,
+            Fabric::ib_cluster(4),
+            AtosConfig::ib_bfs(),
+            k,
+            &mut buf,
+        )
+    } else {
+        let run = run_bfs_traced(
+            ds.graph.clone(),
+            part,
+            ds.source,
+            Fabric::ib_cluster(4),
+            AtosConfig::ib_bfs(),
+            &mut buf,
+        );
+        (run, None)
+    };
     crate::sweep::record_sim_events(run.stats.sim_events);
 
     let mut reg = MetricsRegistry::new();
     run.stats.fill_metrics(&mut reg);
     reg.set("run.reached_vertices", run.reachable);
+    if let Some(p) = &profile {
+        p.fill_metrics(&mut reg);
+    }
 
     // The simulated run never touches the host queues, so exercise them
     // directly: one counter-queue and one CAS-queue probe on real
@@ -97,7 +143,7 @@ pub fn reference_run(scale: Scale) -> (TraceBuffer, MetricsRegistry) {
     reg.set("queue.cas_retries", q.cas_retries);
     reg.set("queue.reservation_conflicts", q.reservation_conflicts);
     reg.set("queue.host_occupancy_hwm", q.occupancy_hwm);
-    (buf, reg)
+    (buf, reg, profile)
 }
 
 fn write_artifact(path: &Path, contents: &str, what: &str) {
@@ -161,6 +207,7 @@ mod tests {
             json: None,
             trace: None,
             metrics: None,
+            flight_dump: None,
             run_id: None,
         };
         emit_artifacts(&args); // must not panic or write anything
@@ -177,6 +224,7 @@ mod tests {
             json: None,
             trace: Some(dir.join("trace.json")),
             metrics: Some(dir.join("metrics.json")),
+            flight_dump: None,
             run_id: None,
         };
         emit_artifacts(&args);
@@ -184,6 +232,53 @@ mod tests {
         assert!(perfetto::validate_chrome_trace(&trace).is_ok());
         let metrics = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
         assert!(atos_trace::json::parse(&metrics).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sharded_reference_run_carries_shard_detail() {
+        // Satellite fix: `--trace`/`--metrics` with `--sim-threads K > 1`
+        // must not silently lose per-shard detail.
+        let (buf, reg, profile) = reference_run_sharded(Scale::Tiny, 4);
+        let json = perfetto::to_chrome_json(&buf);
+        let summary = perfetto::validate_chrome_trace(&json).expect("valid trace");
+        assert!(summary.names.contains("step"), "PE timeline intact");
+        assert!(summary.names.contains("window"), "shard tracks present");
+        for key in [
+            "run.elapsed_ns",
+            "sharded.shards",
+            "sharded.windows",
+            "shard0.events",
+            "shard3.windows",
+        ] {
+            assert!(reg.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(reg.get("sharded.shards"), Some(4));
+        assert!(reg.histogram("shard0.barrier_wait_ns").is_some());
+        assert!(reg.histogram("sharded.imbalance_permille").is_some());
+        let profile = profile.expect("sharded run collects a profile");
+        assert_eq!(profile.shards.len(), 4);
+        let flight = profile.flight_json();
+        assert!(atos_trace::json::parse(&flight).is_ok(), "flight dump parses");
+
+        // And emit_artifacts wires all three files through.
+        let dir = std::env::temp_dir().join(format!("atos-obs-shard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = BenchArgs {
+            scale: Scale::Tiny,
+            threads: 1,
+            sim_threads: 4,
+            json: None,
+            trace: None,
+            metrics: Some(dir.join("metrics.json")),
+            flight_dump: Some(dir.join("flight.json")),
+            run_id: None,
+        };
+        emit_artifacts(&args);
+        let metrics = std::fs::read_to_string(dir.join("metrics.json")).unwrap();
+        assert!(metrics.contains("\"sharded.shards\": 4"), "{metrics}");
+        let flight = std::fs::read_to_string(dir.join("flight.json")).unwrap();
+        assert!(atos_trace::json::parse(&flight).is_ok());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

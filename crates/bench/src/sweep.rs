@@ -54,6 +54,11 @@ pub struct BenchArgs {
     /// binary dumps a [`atos_core::MetricsRegistry`] JSON snapshot of the
     /// reference run plus host-queue contention counters.
     pub metrics: Option<PathBuf>,
+    /// Flight-recorder destination from `--flight-dump PATH`: when set
+    /// together with `--sim-threads K > 1`, the reference run's per-shard
+    /// flight-recorder rings (last [`atos_core::FlightRecorder`] windows
+    /// per shard) are dumped there as deterministic JSON.
+    pub flight_dump: Option<PathBuf>,
     /// Run identity from `--run-id ID` (conventionally
     /// `<git sha>@<timestamp>`, both produced by the caller): when set,
     /// the timing-report entry is keyed `<binary>@<ID>` so the report
@@ -102,6 +107,7 @@ impl BenchArgs {
         let mut json: Option<PathBuf> = None;
         let mut trace: Option<PathBuf> = None;
         let mut metrics: Option<PathBuf> = None;
+        let mut flight_dump: Option<PathBuf> = None;
         let mut run_id: Option<String> = None;
         let mut sim_threads = 1usize;
         let mut it = args.iter();
@@ -125,6 +131,10 @@ impl BenchArgs {
                     let v = it.next().ok_or("--metrics requires a path")?;
                     metrics = Some(PathBuf::from(v));
                 }
+                "--flight-dump" => {
+                    let v = it.next().ok_or("--flight-dump requires a path")?;
+                    flight_dump = Some(PathBuf::from(v));
+                }
                 "--run-id" => {
                     let v = it.next().ok_or("--run-id requires a value")?;
                     run_id = Some(v.clone());
@@ -138,8 +148,8 @@ impl BenchArgs {
                 other => {
                     return Err(format!(
                         "unknown argument `{other}` (supported: --quick, --threads N, \
-                         --json PATH, --trace PATH, --metrics PATH, --run-id ID, \
-                         --sim-threads K)"
+                         --json PATH, --trace PATH, --metrics PATH, --flight-dump PATH, \
+                         --run-id ID, --sim-threads K)"
                     ))
                 }
             }
@@ -158,6 +168,7 @@ impl BenchArgs {
             json,
             trace,
             metrics,
+            flight_dump,
             run_id,
             sim_threads: sim_threads.max(1),
         })
@@ -398,6 +409,7 @@ mod tests {
         assert_eq!(a.json, None);
         assert_eq!(a.trace, None);
         assert_eq!(a.metrics, None);
+        assert_eq!(a.flight_dump, None);
         assert_eq!(a.run_id, None);
         assert_eq!(a.sim_threads, 1);
     }
@@ -415,6 +427,8 @@ mod tests {
                 "/tmp/t.json",
                 "--metrics",
                 "/tmp/m.json",
+                "--flight-dump",
+                "/tmp/f.json",
                 "--run-id",
                 "abc123@2026-01-01T00:00:00Z",
                 "--sim-threads",
@@ -429,6 +443,7 @@ mod tests {
         assert_eq!(a.json, Some(PathBuf::from("/tmp/r.json")));
         assert_eq!(a.trace, Some(PathBuf::from("/tmp/t.json")));
         assert_eq!(a.metrics, Some(PathBuf::from("/tmp/m.json")));
+        assert_eq!(a.flight_dump, Some(PathBuf::from("/tmp/f.json")));
         assert_eq!(a.run_id.as_deref(), Some("abc123@2026-01-01T00:00:00Z"));
         assert_eq!(a.sim_threads, 4);
     }
@@ -462,6 +477,7 @@ mod tests {
         assert!(BenchArgs::parse_from(&s(&["--json"]), None, 1).is_err());
         assert!(BenchArgs::parse_from(&s(&["--trace"]), None, 1).is_err());
         assert!(BenchArgs::parse_from(&s(&["--metrics"]), None, 1).is_err());
+        assert!(BenchArgs::parse_from(&s(&["--flight-dump"]), None, 1).is_err());
         assert!(BenchArgs::parse_from(&s(&["--run-id"]), None, 1).is_err());
         assert!(BenchArgs::parse_from(&[], Some("lots"), 1).is_err());
     }

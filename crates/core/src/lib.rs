@@ -51,6 +51,7 @@ pub mod emitter;
 pub mod host;
 pub mod metrics;
 pub mod pgas;
+pub mod profile;
 pub mod runtime;
 pub mod sharded;
 #[cfg(atos_check)]
@@ -63,6 +64,7 @@ pub use dqueue::DistributedQueues;
 pub use emitter::Emitter;
 pub use metrics::RunStats;
 pub use host::{run_host, HostApplication, HostConfig, HostStats};
+pub use profile::{FlightRecorder, ShardProfile, ShardTelemetry, WindowRecord};
 pub use runtime::{Runtime, RuntimeTuning};
 pub use sharded::{ExchangeBoard, SpinBarrier};
 

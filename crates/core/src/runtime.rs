@@ -26,17 +26,22 @@
 //! * In aggregated mode, pushes land in per-destination
 //!   [`AggBuffer`]s instead, and bundles leave on the size/age triggers.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use atos_queue::sync::{thread, AtomicU64, Ordering};
 use atos_sim::{
-    ControlPath, Engine, ExchangeKey, Fabric, GpuCostModel, PeId, PendingTransfer, Time,
+    imbalance_permille, ControlPath, Engine, ExchangeKey, Fabric, GpuCostModel, PeId,
+    PendingTransfer, Time,
 };
-use atos_trace::{NullTracer, Tracer, Track};
+use atos_trace::{NullTracer, TraceBuffer, Tracer, Track};
 
 use crate::aggregator::AggBuffer;
 use crate::app::{Application, IdleOutcome, ShardableApp};
 use crate::config::{AtosConfig, CommMode, KernelMode, QueueMode};
 use crate::emitter::Emitter;
 use crate::metrics::RunStats;
+use crate::profile::{self, FlightLog, ShardProfile, WindowRecord};
 use crate::sharded::{ExchangeBoard, SpinBarrier};
 use crate::workqueue::WorkQueue;
 
@@ -189,6 +194,10 @@ pub struct Runtime<A: Application, Tr: Tracer = NullTracer> {
     /// Virtual-time event sink ([`NullTracer`] unless built with
     /// [`Runtime::with_tracer`]).
     tracer: Tr,
+    /// Telemetry of the last sharded run (`None` after a sequential run
+    /// or the `k <= 1` / shard-conflict fallback). See
+    /// [`Runtime::take_shard_profile`].
+    shard_profile: Option<ShardProfile>,
 }
 
 impl<A: Application> Runtime<A> {
@@ -262,12 +271,25 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
             outbox: Vec::new(),
             merge_last: vec![(Time::MAX, usize::MAX); n],
             tracer,
+            shard_profile: None,
         }
     }
 
     /// Borrow the tracer (inspect the collected timeline after `run`).
     pub fn tracer(&self) -> &Tr {
         &self.tracer
+    }
+
+    /// Borrow the last sharded run's telemetry, if any.
+    pub fn shard_profile(&self) -> Option<&ShardProfile> {
+        self.shard_profile.as_ref()
+    }
+
+    /// Take the last sharded run's telemetry (per-shard window
+    /// histograms, flight-recorder rings, barrier diagnostics). `None`
+    /// after sequential runs, including the `run_sharded` fallbacks.
+    pub fn take_shard_profile(&mut self) -> Option<ShardProfile> {
+        self.shard_profile.take()
     }
 
     /// Number of PEs.
@@ -883,7 +905,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
     }
 }
 
-impl<A: ShardableApp> Runtime<A> {
+impl<A: ShardableApp, Tr: Tracer> Runtime<A, Tr> {
     /// Execute to global quiescence with PEs partitioned across `k`
     /// shards, each stepping its own engine and fabric clone on an OS
     /// thread — conservative parallel discrete-event simulation with the
@@ -893,7 +915,18 @@ impl<A: ShardableApp> Runtime<A> {
     /// shard events execute in the same `(time, seq)` order as the
     /// sequential run's restriction to that shard's PEs, and cross-shard
     /// messages merge at each barrier in the shard-count-independent
-    /// [`ExchangeKey`] order. Only wall-clock time changes.
+    /// [`ExchangeKey`] order. Only wall-clock time changes. With a
+    /// tracer attached, the per-PE/aggregation timeline is also
+    /// byte-identical to the sequential run's (after sorting, which the
+    /// Chrome exporter does); sharded runs additionally emit `window`
+    /// spans and `exchange` instants on per-shard [`Track::shard`]
+    /// tracks, stamped purely in virtual time.
+    ///
+    /// Every sharded run also collects a [`ShardProfile`] — per-shard
+    /// window histograms, an always-on flight-recorder ring (dumped to
+    /// stderr if the run panics), wall-clock barrier waits, and the
+    /// per-window load-imbalance distribution — retrievable afterwards
+    /// via [`Runtime::take_shard_profile`].
     ///
     /// OS threads are capped at the host's available parallelism (logical
     /// shards beyond that share threads), so `k` larger than the machine
@@ -916,6 +949,7 @@ impl<A: ShardableApp> Runtime<A> {
         for (s, &(lo, hi)) in ranges.iter().enumerate() {
             shard_of[lo..hi].fill(s);
         }
+        self.shard_profile = None;
         if k == 1 || self.fabric.shard_conflicts(&shard_of) {
             // Identical output by construction — the sequential window
             // loop runs the same schedule on one engine.
@@ -927,7 +961,11 @@ impl<A: ShardableApp> Runtime<A> {
         // One sub-runtime per shard: forked application state, a fabric
         // clone (each link is mutated by exactly one shard — checked
         // above), and the parent's seeded queues moved in for owned PEs.
-        let mut subs: Vec<Runtime<A>> = ranges
+        // Each shard collects its own trace buffer iff the parent tracer
+        // is live; `Option<TraceBuffer>`'s `None` path is the same
+        // zero-work guard as `NullTracer`, just decided at run time.
+        let collect_trace = self.tracer.is_enabled();
+        let mut subs: Vec<ShardRuntime<A>> = ranges
             .iter()
             .map(|&(lo, hi)| {
                 let mut sub = Runtime::with_tracer(
@@ -936,7 +974,7 @@ impl<A: ShardableApp> Runtime<A> {
                     self.cfg,
                     self.cost,
                     self.tuning,
-                    NullTracer,
+                    collect_trace.then(TraceBuffer::new),
                 );
                 for pe in lo..hi {
                     std::mem::swap(&mut sub.pes[pe].queue, &mut self.pes[pe].queue);
@@ -949,12 +987,20 @@ impl<A: ShardableApp> Runtime<A> {
         let board: ExchangeBoard<StagedMsg<A::Task>> = ExchangeBoard::new(k);
         let barrier = SpinBarrier::new(threads);
         let next_times: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+        // Per-shard events-executed-last-window cells, feeding the
+        // imbalance telemetry (deterministic: virtual-time counts only).
+        let win_events: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+        // Always-on telemetry: per-shard window records + flight rings,
+        // registered with the panic hook for crash-time dumping.
+        let flight = Arc::new(FlightLog::new(&ranges));
+        profile::register(&flight);
+        let wall = Instant::now();
 
         // Contiguous shard groups per thread; each thread steps its own
         // shards sequentially within every phase.
         {
-            let mut groups: Vec<(usize, &mut [Runtime<A>])> = Vec::with_capacity(threads);
-            let mut rest: &mut [Runtime<A>] = &mut subs;
+            let mut groups: Vec<(usize, &mut [ShardRuntime<A>])> = Vec::with_capacity(threads);
+            let mut rest: &mut [ShardRuntime<A>] = &mut subs;
             let mut start = 0;
             for t in 0..threads {
                 let end = (t + 1) * k / threads;
@@ -967,20 +1013,30 @@ impl<A: ShardableApp> Runtime<A> {
             let barrier = &barrier;
             let next_times = &next_times[..];
             let shard_of = &shard_of[..];
+            let win_events = &win_events[..];
+            let flight = &*flight;
             thread::scope(|scope| {
                 for (base, group) in groups {
                     scope.spawn(move || {
-                        shard_worker(base, group, board, barrier, next_times, shard_of, lookahead)
+                        shard_worker(
+                            base, group, board, barrier, next_times, shard_of, lookahead,
+                            win_events, flight,
+                        )
                     });
                 }
             });
         }
+        let wall_ns = wall.elapsed().as_nanos() as u64;
+        profile::unregister(&flight);
 
         // Fold the shards back: stats and traces are sums over events that
         // each happened on exactly one shard, so the merge reconstructs
         // the sequential run's numbers exactly (peak pending events, a
         // high-water mark, merges as the sum of per-shard peaks — a
-        // documented upper bound).
+        // documented upper bound). Trace events merge in shard order:
+        // every track belongs to exactly one shard, so per-track order is
+        // the sequential run's and the time-sorting Chrome exporter emits
+        // byte-identical JSON for the shared tracks.
         let mut elapsed: Time = 0;
         for (s, mut sub) in subs.into_iter().enumerate() {
             let (lo, hi) = ranges[s];
@@ -990,12 +1046,26 @@ impl<A: ShardableApp> Runtime<A> {
             elapsed = elapsed.max(sub.engine.now());
             self.stats.absorb(&sub.stats);
             self.fabric.absorb(&sub.fabric);
+            if let Some(buf) = std::mem::take(&mut sub.tracer) {
+                if self.tracer.is_enabled() {
+                    for &ev in buf.events() {
+                        self.tracer.record(ev);
+                    }
+                }
+            }
             self.app.join(sub.into_app(), lo, hi);
         }
         self.stats.elapsed_ns = elapsed;
         self.fabric.trace.finish(elapsed);
         self.stats.wire_bytes = self.fabric.trace.total_wire_bytes();
         self.stats.burstiness = self.fabric.trace.burstiness();
+        self.shard_profile = Some(ShardProfile::from_log(
+            flight,
+            wall_ns,
+            threads,
+            lookahead,
+            barrier.yield_waits(),
+        ));
         self.stats.clone()
     }
 }
@@ -1008,14 +1078,31 @@ impl<A: ShardableApp> Runtime<A> {
 /// drain, the second orders this window's drains (and `next_times`
 /// stores) before the next window's publishes — and window execution
 /// itself never touches the board.
+///
+/// Telemetry (all observation-only): wall-clock barrier waits are
+/// measured per thread and attributed to every owned shard; per-window
+/// records feed each shard's histograms and flight ring in `flight`;
+/// per-window event counts cross the barrier through `win_events` so the
+/// shard-0 thread can record the (deterministic) imbalance ratio; and
+/// when the shard collects a trace, a `window` span plus an `exchange`
+/// instant land on its [`Track::shard`] track, stamped in virtual time
+/// only — wall-clock values never enter the trace.
+/// Per-shard sub-runtime of the sharded path: collects its own trace
+/// buffer iff the parent tracer is enabled (`None` = the `NullTracer`
+/// zero-work guard, decided at run time).
+type ShardRuntime<A> = Runtime<A, Option<TraceBuffer>>;
+
+#[allow(clippy::too_many_arguments)]
 fn shard_worker<A: ShardableApp>(
     base: usize,
-    group: &mut [Runtime<A>],
+    group: &mut [ShardRuntime<A>],
     board: &ExchangeBoard<StagedMsg<A::Task>>,
     barrier: &SpinBarrier,
     next_times: &[AtomicU64],
     shard_of: &[usize],
     lookahead: Time,
+    win_events: &[AtomicU64],
+    flight: &FlightLog,
 ) {
     let k = board.shards();
     // Reusable per-shard row/inbox buffers; vectors circulate between
@@ -1026,11 +1113,18 @@ fn shard_worker<A: ShardableApp>(
         .map(|_| (0..k).map(|_| Vec::new()).collect())
         .collect();
     let mut inboxes: Vec<Vec<StagedMsg<A::Task>>> = group.iter().map(|_| Vec::new()).collect();
+    // Telemetry scratch, preallocated: per-owned-shard exchange volumes
+    // for the current iteration and the events-processed cursor.
+    let mut published_now: Vec<u64> = vec![0; group.len()];
+    let mut drained_now: Vec<u64> = vec![0; group.len()];
+    let mut prev_processed: Vec<u64> = group.iter().map(|sub| sub.engine.processed()).collect();
+    let mut window: u64 = 0;
     loop {
         // Publish: split each owned shard's outbox by destination shard
         // and swap the rows onto the board.
         for (i, sub) in group.iter_mut().enumerate() {
             let s = base + i;
+            published_now[i] = sub.outbox.len() as u64;
             for msg in sub.outbox.drain(..) {
                 rows[i][shard_of[msg.dst]].push(msg);
             }
@@ -1038,7 +1132,9 @@ fn shard_worker<A: ShardableApp>(
                 board.publish(s, dst_shard, row);
             }
         }
+        let t0 = Instant::now();
         barrier.wait();
+        let mut wait_ns = t0.elapsed().as_nanos() as u64;
         // Drain + merge: collect each owned shard's column, merge it into
         // the shard's engine in ExchangeKey order, and announce the
         // shard's next event time.
@@ -1048,11 +1144,25 @@ fn shard_worker<A: ShardableApp>(
             for src_shard in 0..k {
                 board.drain(src_shard, s, inbox);
             }
+            drained_now[i] = inbox.len() as u64;
             sub.merge_records(inbox);
             let next = sub.engine.peek_time().unwrap_or(Time::MAX);
             next_times[s].store(next, Ordering::Release);
         }
+        // Imbalance over the *previous* window's event counts: the stores
+        // happened before the publish barrier, so every cell is visible
+        // here. One thread records it (shard 0's owner) — the value is a
+        // pure function of virtual-time counts, hence deterministic.
+        if base == 0 && window > 0 {
+            if let Some(p) =
+                imbalance_permille(win_events.iter().map(|c| c.load(Ordering::Acquire)))
+            {
+                flight.record_imbalance(p);
+            }
+        }
+        let t1 = Instant::now();
         barrier.wait();
+        wait_ns += t1.elapsed().as_nanos() as u64;
         // Window: every thread derives the same global horizon from the
         // published next-event times.
         let t_min = next_times
@@ -1064,9 +1174,49 @@ fn shard_worker<A: ShardableApp>(
             break;
         }
         let horizon = t_min.saturating_add(lookahead);
-        for sub in group.iter_mut() {
+        for (i, sub) in group.iter_mut().enumerate() {
+            let s = base + i;
             sub.run_window(horizon);
+            let done = sub.engine.processed();
+            let events = done - prev_processed[i];
+            prev_processed[i] = done;
+            win_events[s].store(events, Ordering::Release);
+            if sub.tracer.is_enabled() {
+                // Virtual-time-only shard-track events: the window span
+                // covers [t_min, last executed event]; consecutive spans
+                // never overlap because the next t_min is >= this
+                // horizon. Exchange volumes ride as an instant at the
+                // window's opening barrier.
+                let end = sub.engine.now().max(t_min);
+                sub.tracer.span(
+                    Track::shard(s),
+                    t_min,
+                    end - t_min,
+                    "window",
+                    ["events", "published"],
+                    [events, published_now[i]],
+                );
+                if published_now[i] + drained_now[i] > 0 {
+                    sub.tracer.instant(
+                        Track::shard(s),
+                        t_min,
+                        "exchange",
+                        ["published", "drained"],
+                        [published_now[i], drained_now[i]],
+                    );
+                }
+            }
+            flight.shard(s).record_window(WindowRecord {
+                window,
+                t_min,
+                horizon,
+                events,
+                published: published_now[i],
+                drained: drained_now[i],
+                barrier_wait_ns: wait_ns,
+            });
         }
+        window += 1;
     }
 }
 
@@ -1658,6 +1808,92 @@ mod tests {
             let s = go(Some((k, threads)));
             assert_runs_identical(&baseline, &s, &format!("fanout k={k} t={threads}"));
         }
+    }
+
+    #[test]
+    fn sharded_traced_run_matches_sequential_trace_byte_for_byte() {
+        use atos_trace::perfetto::{to_chrome_json, validate_chrome_trace};
+        use atos_trace::TraceBuffer;
+
+        let traced_daisy = || {
+            Runtime::with_tracer(
+                Relay {
+                    n_pes: 4,
+                    processed: 0,
+                    received: 0,
+                },
+                Fabric::daisy(4),
+                AtosConfig::standard_persistent(),
+                GpuCostModel::v100(),
+                RuntimeTuning::default(),
+                TraceBuffer::new(),
+            )
+        };
+        let seq_json = {
+            let mut rt = traced_daisy();
+            rt.seed(0, [61u32]);
+            rt.run();
+            to_chrome_json(rt.tracer())
+        };
+        for (k, threads) in [(2, 2), (4, 2), (4, 4)] {
+            let mut rt = traced_daisy();
+            rt.seed(0, [61u32]);
+            rt.run_sharded_on(k, threads);
+            let mut merged = rt.tracer().clone();
+            // Shard tracks are sharded-run-only additions; everything
+            // else must be the sequential timeline, byte for byte.
+            let full = to_chrome_json(&merged);
+            let summary = validate_chrome_trace(&full)
+                .unwrap_or_else(|e| panic!("k={k}: invalid sharded trace: {e}"));
+            assert!(summary.spans > 0);
+            let shard_events =
+                merged.events().iter().filter(|e| e.track == Track::shard(0)).count();
+            assert!(shard_events > 0, "k={k}: no shard-track telemetry recorded");
+            merged.retain(|e| (0..k).all(|s| e.track != Track::shard(s)));
+            assert_eq!(
+                to_chrome_json(&merged),
+                seq_json,
+                "k={k} t={threads}: traced sharded run diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_run_collects_profile() {
+        let mut rt = daisy_runtime(4, AtosConfig::standard_persistent());
+        rt.seed(0, [61u32]);
+        let stats = rt.run_sharded_on(4, 2);
+        let p = rt.take_shard_profile().expect("sharded run must profile");
+        assert_eq!(p.shards.len(), 4);
+        assert_eq!(p.threads, 2);
+        // Every shard crossed every window barrier.
+        let w0 = p.shards[0].windows;
+        assert!(w0 > 0);
+        assert!(p.shards.iter().all(|s| s.windows == w0));
+        // Window event totals reconstruct the run's event count.
+        let events: u64 = p.shards.iter().map(|s| s.events).sum();
+        assert_eq!(events, stats.sim_events);
+        // Flight rings retained the tail of the run.
+        assert!(p.shards.iter().all(|s| !s.flight.is_empty()));
+        assert_eq!(p.shards[0].flight.total(), w0);
+        // Imbalance was recorded (daisy relay is single-token, so the
+        // ratio is k * 1000 for most windows) and is deterministic.
+        assert!(!p.imbalance.is_empty());
+        assert!(p.imbalance_ratio() >= 1.0);
+        // A second identical run records the identical imbalance
+        // distribution (virtual-time counts only).
+        let mut rt2 = daisy_runtime(4, AtosConfig::standard_persistent());
+        rt2.seed(0, [61u32]);
+        rt2.run_sharded_on(4, 2);
+        let p2 = rt2.take_shard_profile().unwrap();
+        assert_eq!(p.imbalance, p2.imbalance);
+        assert_eq!(p.shards[0].window_events, p2.shards[0].window_events);
+        assert_eq!(p.shards[0].window_span, p2.shards[0].window_span);
+        // The sequential fallback leaves no profile behind.
+        let mut rt3 = daisy_runtime(4, AtosConfig::standard_persistent());
+        rt3.seed(0, [5u32]);
+        rt3.run_sharded(1);
+        assert!(rt3.shard_profile().is_none());
     }
 
     #[test]

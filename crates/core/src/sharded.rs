@@ -25,7 +25,7 @@
 //! production code runs under `--cfg atos_check` with every interleaving
 //! explored and every cell access race-checked.
 
-use atos_queue::sync::{hint, thread, AtomicUsize, Ordering, UnsafeCell};
+use atos_queue::sync::{hint, thread, AtomicU64, AtomicUsize, Ordering, UnsafeCell};
 
 /// Spins on the barrier generation before yielding to the OS scheduler.
 /// Short: the barrier is crossed twice per simulation window, and on an
@@ -48,6 +48,11 @@ pub struct SpinBarrier {
     generation: AtomicUsize,
     /// Party count.
     n: usize,
+    /// Telemetry: waits that exhausted the spin budget and fell back to
+    /// `yield_now` at least once. Relaxed — it is a diagnostic counter
+    /// with no ordering role (it distinguishes "spun briefly" from
+    /// "stalled into the OS scheduler" in shard profiles).
+    yield_waits: AtomicU64,
 }
 
 impl SpinBarrier {
@@ -58,7 +63,14 @@ impl SpinBarrier {
             count: AtomicUsize::new(0),
             generation: AtomicUsize::new(0),
             n,
+            yield_waits: AtomicU64::new(0),
         }
+    }
+
+    /// Waits that fell back to `yield_now` after exhausting the spin
+    /// budget, across all parties and generations so far.
+    pub fn yield_waits(&self) -> u64 {
+        self.yield_waits.load(Ordering::Relaxed)
     }
 
     /// Block (spin, then yield) until all parties have called `wait` for
@@ -79,6 +91,11 @@ impl SpinBarrier {
                 spins += 1;
                 hint::spin_loop();
             } else {
+                if spins == SPIN_LIMIT {
+                    // Count the transition once per wait, not per retry.
+                    spins += 1;
+                    self.yield_waits.fetch_add(1, Ordering::Relaxed);
+                }
                 thread::yield_now();
             }
         }

@@ -218,6 +218,52 @@ fn steady_state_send_paths_do_not_allocate_per_task() {
         "sharded mode: {during} allocations for {HOPS} cross-shard messages \
          (expected warm-up only; exchange buffers must recycle)"
     );
+
+    // Profiling-layer record paths (exact-zero, see the scenario's doc).
+    histogram_record_and_flight_push_scenario();
+}
+
+/// The profiling layer's record paths are on the shard-worker hot loop:
+/// `Histogram::record` and `FlightRecorder::push` must perform *zero*
+/// allocations after construction — not a budget, exactly none. Runs
+/// inside the single mega-test (below) because the allocation counter is
+/// process-global: a concurrently scheduled sibling test would pollute
+/// the exact-zero window.
+fn histogram_record_and_flight_push_scenario() {
+    use atos_core::{FlightRecorder, WindowRecord};
+    use atos_trace::Histogram;
+
+    let mut h = Histogram::new();
+    let mut f = FlightRecorder::new(64);
+    // Warm-up is construction itself; the record paths have no lazy init.
+    let before = alloc_calls();
+    for i in 0..100_000u64 {
+        // Mixed magnitudes walk the linear region and many octaves.
+        h.record(i.wrapping_mul(0x9E37_79B9).rotate_left((i % 31) as u32));
+        f.push(WindowRecord {
+            window: i,
+            t_min: i * 10,
+            horizon: i * 10 + 7,
+            events: i % 17,
+            published: i % 5,
+            drained: i % 3,
+            barrier_wait_ns: i % 1_000,
+        });
+    }
+    let during = alloc_calls() - before;
+    assert_eq!(h.count(), 100_000);
+    assert_eq!(f.total(), 100_000);
+    assert_eq!(f.len(), 64);
+    assert_eq!(
+        during, 0,
+        "histogram record / flight push allocated {during} times in steady state"
+    );
+    // Merging into a preallocated histogram is also allocation-free.
+    let other = h.clone();
+    let before = alloc_calls();
+    h.merge(&other);
+    assert_eq!(alloc_calls() - before, 0, "Histogram::merge allocated");
+    assert_eq!(h.count(), 200_000);
 }
 
 /// Extract the names of `#[atos_hot]`-annotated functions from a source

@@ -98,6 +98,21 @@ impl Config {
                     file_suffix: "crates/queue/src/broker.rs",
                     fns: &["push", "pop"],
                 },
+                HotDenyEntry {
+                    // The profiling layer's record path: called once per
+                    // histogram sample / per window on every shard, and
+                    // pinned allocation-free by `alloc_count.rs`.
+                    // `atos-trace` is a leaf crate, so it cannot carry the
+                    // `#[atos_hot]` proc-macro attribute.
+                    file_suffix: "crates/trace/src/hist.rs",
+                    fns: &["record", "bucket_index"],
+                },
+                HotDenyEntry {
+                    // Flight-recorder ring push: every window of every
+                    // shard, steady-state alloc-free by construction.
+                    file_suffix: "crates/core/src/profile.rs",
+                    fns: &["push"],
+                },
             ],
             kernel_scopes: &[
                 KernelScope {

@@ -45,7 +45,7 @@ pub use engine::{Engine, Time};
 pub use gpu::GpuCostModel;
 pub use interconnect::{ControlPath, Fabric, PeId, PendingTransfer};
 pub use packet::PacketModel;
-pub use sharded::{safe_horizon, ExchangeKey, ShardedEngine};
+pub use sharded::{imbalance_permille, safe_horizon, ExchangeKey, ShardedEngine};
 
 /// Nanoseconds per millisecond, for reporting.
 pub const NS_PER_MS: f64 = 1e6;

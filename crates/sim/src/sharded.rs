@@ -66,6 +66,30 @@ pub fn safe_horizon(
         .map(|t| t.saturating_add(lookahead))
 }
 
+/// Per-window load-imbalance ratio over the shards' event counts, in
+/// permille: `max * 1000 / mean`, i.e. `1000` means perfectly balanced
+/// and `k * 1000` means one shard did all the work. `None` when no shard
+/// executed an event (an exchange-only window).
+///
+/// Pure kernel of the shard telemetry layer: computed from virtual-time
+/// event counts only, so the recorded distribution is deterministic for
+/// a given workload and shard count.
+pub fn imbalance_permille(shard_events: impl IntoIterator<Item = u64>) -> Option<u64> {
+    let mut max = 0u64;
+    let mut total = 0u64;
+    let mut k = 0u64;
+    for e in shard_events {
+        max = max.max(e);
+        total += e;
+        k += 1;
+    }
+    if total == 0 {
+        return None;
+    }
+    // max / (total / k) = max * k / total, in permille, rounded.
+    Some((max.saturating_mul(k).saturating_mul(1000) + total / 2) / total)
+}
+
 /// Sequential oracle for the deterministic cross-shard merge rule.
 ///
 /// Holds `K` independent timing wheels; `schedule_*` deals events
@@ -238,6 +262,19 @@ mod tests {
         assert_eq!(safe_horizon([None, Some(40), Some(10)], 25), Some(35));
         assert_eq!(safe_horizon([None, None], 25), None);
         assert_eq!(safe_horizon([Some(Time::MAX)], 10), Some(Time::MAX));
+    }
+
+    #[test]
+    fn imbalance_permille_ratios() {
+        // Balanced: every shard equal.
+        assert_eq!(imbalance_permille([10, 10, 10, 10]), Some(1000));
+        // One shard does all the work of 4: ratio 4.0.
+        assert_eq!(imbalance_permille([40, 0, 0, 0]), Some(4000));
+        // max=30, mean=20 -> 1.5.
+        assert_eq!(imbalance_permille([30, 10]), Some(1500));
+        // Exchange-only window.
+        assert_eq!(imbalance_permille([0, 0]), None);
+        assert_eq!(imbalance_permille([]), None);
     }
 
     #[test]

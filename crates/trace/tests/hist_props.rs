@@ -1,0 +1,136 @@
+//! Property tests for the log-linear histogram, checked against a naive
+//! sorted-vec oracle.
+
+use proptest::prelude::*;
+
+use atos_trace::hist::{bucket_floor, bucket_index, N_BUCKETS, SUB_BUCKETS};
+use atos_trace::Histogram;
+
+/// Naive oracle: exact quantile over the sorted sample vector, using the
+/// same rank convention as `Histogram::quantile` (rank `ceil(q·n)`
+/// clamped to `[1, n]`, 1-indexed).
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Mixed-magnitude sample strategy: low bits choose an octave, rest
+/// choose a mantissa, so samples span the linear region through ~2^40.
+fn shaped(raw: u64) -> u64 {
+    let octave = (raw % 41) as u32;
+    (raw >> 8) % (1u64 << octave).max(1)
+}
+
+proptest! {
+    /// Quantiles are monotone in q.
+    #[test]
+    fn quantile_monotone(samples in proptest::collection::vec(0u64..u64::MAX, 1..400)) {
+        let mut h = Histogram::new();
+        for &raw in &samples {
+            h.record(shaped(raw));
+        }
+        let qs = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+        let mut last = 0u64;
+        for &q in &qs {
+            let v = h.quantile(q);
+            prop_assert!(v >= last, "quantile({q}) = {v} < previous {last}");
+            last = v;
+        }
+    }
+
+    /// Merging two histograms is exactly recording the concatenation.
+    #[test]
+    fn merge_equals_concat_record(
+        xs in proptest::collection::vec(0u64..u64::MAX, 0..200),
+        ys in proptest::collection::vec(0u64..u64::MAX, 0..200),
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for &raw in &xs {
+            a.record(shaped(raw));
+            both.record(shaped(raw));
+        }
+        for &raw in &ys {
+            b.record(shaped(raw));
+            both.record(shaped(raw));
+        }
+        a.merge(&b);
+        prop_assert_eq!(&a, &both);
+        prop_assert_eq!(a.to_json(), both.to_json());
+    }
+
+    /// The reported quantile is the floor of the bucket holding the
+    /// oracle's rank: exact in the linear region, within 1/SUB_BUCKETS
+    /// relative error above it, and never above the true rank value.
+    #[test]
+    fn quantile_matches_oracle_within_bucket(
+        samples in proptest::collection::vec(0u64..u64::MAX, 1..300),
+    ) {
+        let mut h = Histogram::new();
+        let mut sorted: Vec<u64> = samples.iter().map(|&r| shaped(r)).collect();
+        for &v in &sorted {
+            h.record(v);
+        }
+        sorted.sort_unstable();
+        for &q in &[0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let truth = oracle_quantile(&sorted, q);
+            let got = h.quantile(q);
+            // The top rank is reported exactly (as is q=1.0's max).
+            let n = sorted.len() as f64;
+            let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+            if rank == sorted.len() {
+                prop_assert_eq!(got, truth, "top rank must be exact max, q={}", q);
+                continue;
+            }
+            prop_assert_eq!(
+                got,
+                bucket_floor(bucket_index(truth)),
+                "q={} truth={}",
+                q,
+                truth
+            );
+            prop_assert!(got <= truth);
+            if truth < SUB_BUCKETS as u64 {
+                prop_assert_eq!(got, truth, "linear region must be exact, q={}", q);
+            } else {
+                // floor >= truth - truth/SUB_BUCKETS (one bucket width).
+                prop_assert!(
+                    truth - got <= truth / SUB_BUCKETS as u64 + 1,
+                    "q={} truth={} got={}",
+                    q,
+                    truth,
+                    got
+                );
+            }
+        }
+    }
+
+    /// Bucket boundary exactness: every floor maps into its own bucket,
+    /// the value one below a bucket's floor maps strictly lower, and
+    /// indices are monotone in the value.
+    #[test]
+    fn bucket_boundaries_exact(i in 1usize..N_BUCKETS) {
+        let floor = bucket_floor(i);
+        prop_assert_eq!(bucket_index(floor), i);
+        prop_assert_eq!(bucket_index(floor - 1), i - 1);
+        prop_assert!(bucket_floor(i - 1) < floor);
+    }
+
+    /// min/max/count/sum agree with the oracle exactly.
+    #[test]
+    fn scalar_stats_exact(samples in proptest::collection::vec(0u64..u64::MAX, 1..300)) {
+        let mut h = Histogram::new();
+        let vals: Vec<u64> = samples.iter().map(|&r| shaped(r)).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), vals.len() as u64);
+        prop_assert_eq!(h.min(), *vals.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *vals.iter().max().unwrap());
+        let sum: u64 = vals.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(h.sum(), sum);
+    }
+}

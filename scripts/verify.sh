@@ -112,6 +112,39 @@ print(f"ok: trace has {len(events)} events, metrics has {len(metrics)} counters"
 EOF
 
 echo
+echo "== shard profiling smoke (--sim-threads 4 --trace --metrics | atos-profile) =="
+# A sharded reference run must carry per-shard detail in both artifacts
+# (satellite of the profiling layer: shard tracks in the trace,
+# shard<k>.*/sharded.* metrics), and atos-profile must turn the snapshot
+# into a non-empty bottleneck report, exit 0.
+./target/release/fig5_scaling_nvlink --quick --threads 1 --sim-threads 4 \
+    --json "$tmp/sweep.json" \
+    --trace "$tmp/shard_trace.json" --metrics "$tmp/shard_metrics.json" \
+    --flight-dump "$tmp/flight.json" \
+    > /dev/null 2> /dev/null
+python3 - "$tmp/shard_trace.json" "$tmp/shard_metrics.json" "$tmp/flight.json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+names = {e.get("name") for e in trace["traceEvents"]}
+assert "step" in names, "per-PE timeline lost in sharded trace"
+assert "window" in names, f"no per-shard window spans: {sorted(names)}"
+metrics = json.load(open(sys.argv[2]))
+assert metrics.get("sharded.shards") == 4, "metrics missing sharded.shards=4"
+for key in ("shard0.events", "shard3.windows", "sharded.imbalance_permille"):
+    assert key in metrics, f"metrics snapshot missing {key}"
+flight = json.load(open(sys.argv[3]))
+assert flight["shards"], "flight dump has no shard rings"
+print("ok: sharded artifacts carry per-shard detail")
+EOF
+report="$("./target/release/atos-profile" "$tmp/shard_metrics.json")"
+test -n "$report" || { echo "FAIL: atos-profile printed nothing" >&2; exit 1; }
+echo "$report" | grep -q "imbalance" || {
+    echo "FAIL: atos-profile report missing imbalance verdict" >&2
+    exit 1
+}
+echo "ok: atos-profile bottleneck report ($(echo "$report" | wc -l) lines)"
+
+echo
 echo "== workspace static analysis (atos-lint, baseline-gated) =="
 cargo run -q -p atos-lint -- --workspace --deny-new
 
