@@ -14,14 +14,28 @@ use atos_trace::{json, perfetto};
 /// runs: anything derived from host wall-clock (barrier waits and their
 /// aggregates) or from real-thread contention probes. Everything else —
 /// including every virtual-time shard histogram — must be deterministic.
+///
+/// The list is no longer hand-maintained: atos-lint's determinism-taint
+/// pass generates it (`--wall-clock-inventory`) by tracing clock reads
+/// and thread-contention probes through the call graph into metric
+/// sinks, and the artifact is committed at `results/wall_clock_keys.txt`.
+/// `crates/lint/tests/cli.rs` asserts regeneration is a no-op, so this
+/// test and the analyzer cannot drift apart.
+const WALL_CLOCK_INVENTORY: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/wall_clock_keys.txt"
+));
+
 fn is_wall_clock_key(key: &str) -> bool {
-    key.contains("barrier_wait")
-        || key.contains("barrier_frac")
-        || key.contains("barrier_yield")
-        || key == "sharded.wall_ns"
-        || key.starts_with("queue.cas_retries")
-        || key.starts_with("queue.reservation_conflicts")
-        || key.starts_with("queue.host_occupancy_hwm")
+    WALL_CLOCK_INVENTORY.lines().any(|line| {
+        match line.trim().split_once(' ') {
+            Some(("exact", k)) => key == k,
+            // Fragment entries match per-shard prefixed keys
+            // (`shard.3.barrier_wait_ns`, ...).
+            Some(("frag", k)) => key.contains(k),
+            _ => false, // comments and blanks
+        }
+    })
 }
 
 #[test]
@@ -31,13 +45,10 @@ fn trace_export_is_byte_identical_across_runs() {
     let json_a = perfetto::to_chrome_json(&buf_a);
     let json_b = perfetto::to_chrome_json(&buf_b);
     assert_eq!(json_a, json_b, "trace must be a deterministic artifact");
-    // Run counters are equal too; only the host-contention keys (real
-    // threads) may differ between the two reference runs.
+    // Run counters are equal too; only the inventoried wall-clock /
+    // host-contention keys may differ between the two reference runs.
     for (key, val) in reg_a.iter() {
-        if key.starts_with("queue.cas_retries")
-            || key.starts_with("queue.reservation_conflicts")
-            || key.starts_with("queue.host_occupancy_hwm")
-        {
+        if is_wall_clock_key(key) {
             continue;
         }
         assert_eq!(reg_b.get(key), Some(val), "metric {key} must be deterministic");

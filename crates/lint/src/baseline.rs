@@ -1,40 +1,109 @@
 //! Committed-baseline support for `--deny-new`.
 //!
-//! The baseline is a plain text file, one [`crate::Finding::key`] per
-//! line (`rule<TAB>file<TAB>message` — no line numbers, so edits above a
-//! baselined finding don't resurface it). The project's committed
-//! baseline (`.atos-lint-baseline` at the workspace root) is empty: this
-//! PR fixed every finding, and `--deny-new` in `scripts/verify.sh` keeps
-//! it that way. The mechanism exists so a future PR that *must* land
-//! with a known finding can ratchet instead of suppressing.
+//! v2 baselines fingerprint each finding as
+//! `rule<TAB>file<TAB><16-hex FNV-1a of the whitespace-normalized source
+//! line>` under a `# atos-lint-baseline v2` header. The snippet hash is
+//! stable against the two things that churned v1 baselines: message
+//! *wording* changes (rule messages are documentation and should be free
+//! to improve) and line-number drift (edits above a baselined finding).
+//! It still invalidates when the offending line itself changes — which is
+//! exactly when a human should re-look.
+//!
+//! v1 files (`rule<TAB>file<TAB>message` lines, no version header) are
+//! still honored on load, and the CLI migrates them to v2 in place the
+//! first time it runs `--deny-new` against one.
+//!
+//! The project's committed baseline (`.atos-lint-baseline` at the
+//! workspace root) is empty: every finding is fixed or vetted at its
+//! definition, and `--deny-new` in `scripts/verify.sh` keeps it that way.
+//! The mechanism exists so a future PR that *must* land with a known
+//! finding can ratchet instead of suppressing.
 
-use crate::Finding;
+use crate::cache::fnv1a64;
+use crate::{Finding, Workspace};
 use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Load a baseline file; a missing file is an empty baseline.
-pub fn load(path: &Path) -> io::Result<BTreeSet<String>> {
-    match fs::read_to_string(path) {
-        Ok(s) => Ok(s
-            .lines()
-            .map(str::trim_end)
-            .filter(|l| !l.is_empty() && !l.starts_with('#'))
-            .map(String::from)
-            .collect()),
-        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(BTreeSet::new()),
-        Err(e) => Err(e),
-    }
+/// The v2 format header (first line of the file).
+pub const HEADER_V2: &str = "# atos-lint-baseline v2";
+
+/// A loaded baseline: v2 fingerprints and/or legacy v1 keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// v2 entries: `rule\tfile\t<16-hex snippet hash>`.
+    pub v2: BTreeSet<String>,
+    /// Legacy v1 entries: `rule\tfile\tmessage`.
+    pub v1: BTreeSet<String>,
+    /// The file existed and was in the legacy format (migration wanted).
+    pub was_v1: bool,
 }
 
-/// Write `findings` as a baseline file.
-pub fn write(path: &Path, findings: &[Finding]) -> io::Result<()> {
-    let mut body = String::from(
-        "# atos-lint baseline: one `rule<TAB>file<TAB>message` per line.\n\
-         # Findings listed here are tolerated by --deny-new; keep this empty.\n",
+/// Whitespace-normalize a source line: split on whitespace, join with
+/// single spaces — stable under indentation and alignment edits.
+fn normalize(line: &str) -> String {
+    line.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// The source line a finding points at, normalized; empty if the file or
+/// line is unknown to the workspace (e.g. a finding replayed from cache
+/// against a moved file — the fingerprint then hashes emptiness, which
+/// never matches a real line's hash).
+fn snippet(ws: &Workspace, f: &Finding) -> String {
+    ws.files
+        .iter()
+        .find(|sf| sf.path == f.file)
+        .and_then(|sf| sf.src.lines().nth(f.line.saturating_sub(1) as usize))
+        .map(normalize)
+        .unwrap_or_default()
+}
+
+/// The v2 fingerprint of a finding.
+pub fn fingerprint(ws: &Workspace, f: &Finding) -> String {
+    let hash = fnv1a64(snippet(ws, f).as_bytes());
+    format!("{}\t{}\t{hash:016x}", f.rule, f.file)
+}
+
+/// Load a baseline file; a missing file is an empty baseline. Detects the
+/// format by the version header.
+pub fn load(path: &Path) -> io::Result<Baseline> {
+    let body = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Baseline::default()),
+        Err(e) => return Err(e),
+    };
+    let v2_format = body.lines().next().is_some_and(|l| l.trim_end() == HEADER_V2);
+    let entries: BTreeSet<String> = body
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect();
+    Ok(if v2_format {
+        Baseline {
+            v2: entries,
+            v1: BTreeSet::new(),
+            was_v1: false,
+        }
+    } else {
+        Baseline {
+            v2: BTreeSet::new(),
+            was_v1: !entries.is_empty(),
+            v1: entries,
+        }
+    })
+}
+
+/// Write `findings` as a v2 baseline file.
+pub fn write(path: &Path, ws: &Workspace, findings: &[Finding]) -> io::Result<()> {
+    let mut body = format!(
+        "{HEADER_V2}\n\
+         # One `rule<TAB>file<TAB>snippet-hash` per line; the hash is FNV-1a\n\
+         # over the whitespace-normalized source line, so message wording and\n\
+         # line numbers can change without churning this file. Keep it empty.\n"
     );
-    let keys: BTreeSet<String> = findings.iter().map(Finding::key).collect();
+    let keys: BTreeSet<String> = findings.iter().map(|f| fingerprint(ws, f)).collect();
     for k in keys {
         body.push_str(&k);
         body.push('\n');
@@ -42,7 +111,97 @@ pub fn write(path: &Path, findings: &[Finding]) -> io::Result<()> {
     fs::write(path, body)
 }
 
-/// The findings not covered by the baseline.
-pub fn new_findings<'a>(findings: &'a [Finding], base: &BTreeSet<String>) -> Vec<&'a Finding> {
-    findings.iter().filter(|f| !base.contains(&f.key())).collect()
+/// The findings not covered by the baseline (v2 fingerprint or legacy v1
+/// key).
+pub fn new_findings<'a>(
+    ws: &Workspace,
+    findings: &'a [Finding],
+    base: &Baseline,
+) -> Vec<&'a Finding> {
+    findings
+        .iter()
+        .filter(|f| !base.v2.contains(&fingerprint(ws, f)) && !base.v1.contains(&f.key()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_and_finding() -> (Workspace, Finding) {
+        let ws = Workspace::from_sources(vec![(
+            "crates/x/src/a.rs".into(),
+            "fn hot() {\n    let v =   vec![1];\n}\n".into(),
+        )]);
+        let f = Finding {
+            rule: "hot-path-alloc",
+            file: "crates/x/src/a.rs".into(),
+            line: 2,
+            message: "allocating `vec!` in hot-path fn `hot`".into(),
+        };
+        (ws, f)
+    }
+
+    #[test]
+    fn fingerprint_survives_message_and_whitespace_changes() {
+        let (ws, f) = ws_and_finding();
+        let fp = fingerprint(&ws, &f);
+        // Different message, same line → same fingerprint.
+        let mut f2 = f.clone();
+        f2.message = "totally reworded".into();
+        assert_eq!(fp, fingerprint(&ws, &f2));
+        // Re-indented source → same fingerprint.
+        let ws2 = Workspace::from_sources(vec![(
+            "crates/x/src/a.rs".into(),
+            "fn hot() {\n  let v = vec![1];\n}\n".into(),
+        )]);
+        assert_eq!(fp, fingerprint(&ws2, &f));
+        // Changed line content → different fingerprint.
+        let ws3 = Workspace::from_sources(vec![(
+            "crates/x/src/a.rs".into(),
+            "fn hot() {\n    let v = vec![1, 2];\n}\n".into(),
+        )]);
+        assert_ne!(fp, fingerprint(&ws3, &f));
+    }
+
+    #[test]
+    fn v1_files_load_as_legacy_and_still_cover() {
+        let (ws, f) = ws_and_finding();
+        let dir = std::env::temp_dir().join("atos-lint-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1");
+        std::fs::write(&path, format!("# old style\n{}\n", f.key())).unwrap();
+        let base = load(&path).unwrap();
+        assert!(base.was_v1);
+        let findings = vec![f.clone()];
+        assert!(new_findings(&ws, &findings, &base).is_empty());
+        // Writing migrates to v2.
+        write(&path, &ws, &findings).unwrap();
+        let base2 = load(&path).unwrap();
+        assert!(!base2.was_v1);
+        assert!(base2.v1.is_empty());
+        assert!(new_findings(&ws, &findings, &base2).is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v2_roundtrip_and_uncovered_detection() {
+        let (ws, f) = ws_and_finding();
+        let dir = std::env::temp_dir().join("atos-lint-baseline-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v2");
+        write(&path, &ws, std::slice::from_ref(&f)).unwrap();
+        let base = load(&path).unwrap();
+        let other = Finding {
+            rule: "missing-safety",
+            file: "crates/x/src/a.rs".into(),
+            line: 1,
+            message: "…".into(),
+        };
+        let findings = vec![f, other];
+        let fresh = new_findings(&ws, &findings, &base);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].rule, "missing-safety");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

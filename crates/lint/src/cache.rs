@@ -1,0 +1,212 @@
+//! Content-hash result cache.
+//!
+//! `--cache PATH` keys a full lint run on the FNV-1a hash of the rule-set
+//! version plus every (path, content-hash) pair in the workspace. On a
+//! hit the findings *and* the wall-clock key inventory are replayed from
+//! the file, skipping parsing and analysis entirely — the second
+//! `verify.sh` invocation costs file reads only, and the replayed output
+//! is byte-identical because rendering is a pure function of the
+//! findings. Any edited, added, or removed source file changes the key
+//! and misses. The format is line-based text, committed nowhere (the
+//! cache lives under `target/` in CI).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lints::RULES;
+use crate::taint::InventoryEntry;
+use crate::{Finding, Workspace};
+
+/// Bumping this invalidates every cache file (bump when rule behavior or
+/// the file format changes).
+const CACHE_VERSION: &str = "atos-lint-cache v1";
+
+/// FNV-1a 64-bit — the workspace's standard tiny stable hash.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cache key of this workspace state under the current rule set.
+pub fn workspace_key(ws: &Workspace) -> u64 {
+    let mut acc = String::new();
+    acc.push_str(CACHE_VERSION);
+    acc.push('\n');
+    acc.push_str(&RULES.join(","));
+    acc.push('\n');
+    for f in &ws.files {
+        acc.push_str(&f.path);
+        acc.push('\t');
+        acc.push_str(&format!("{:016x}", fnv1a64(f.src.as_bytes())));
+        acc.push('\n');
+    }
+    fnv1a64(acc.as_bytes())
+}
+
+/// A replayed run.
+#[derive(Debug)]
+pub struct CachedRun {
+    /// Findings exactly as the live run produced them (post-suppression,
+    /// sorted).
+    pub findings: Vec<Finding>,
+    /// Wall-clock key inventory of the live run.
+    pub inventory: Vec<InventoryEntry>,
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\t', "\\t").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Load a cached run if `path` exists and was stored under `key`.
+pub fn load(path: &Path, key: u64) -> Option<CachedRun> {
+    let body = fs::read_to_string(path).ok()?;
+    let mut lines = body.lines();
+    if lines.next()? != format!("# {CACHE_VERSION}") {
+        return None;
+    }
+    if lines.next()? != format!("key {key:016x}") {
+        return None;
+    }
+    let mut run = CachedRun {
+        findings: Vec::new(),
+        inventory: Vec::new(),
+    };
+    for line in lines {
+        let mut parts = line.split('\t');
+        match parts.next() {
+            Some("finding") => {
+                let rule_txt = parts.next()?;
+                // Findings carry a `&'static str` rule id; an unknown rule
+                // means a stale format — treat as a miss.
+                let rule = RULES.iter().find(|r| **r == rule_txt).copied()?;
+                let file = unescape(parts.next()?);
+                let line_no: u32 = parts.next()?.parse().ok()?;
+                let message = unescape(parts.next()?);
+                run.findings.push(Finding {
+                    rule,
+                    file,
+                    line: line_no,
+                    message,
+                });
+            }
+            Some("inv") => {
+                let exact = match parts.next()? {
+                    "exact" => true,
+                    "frag" => false,
+                    _ => return None,
+                };
+                run.inventory.push(InventoryEntry {
+                    exact,
+                    key: unescape(parts.next()?),
+                });
+            }
+            Some("") | None => {}
+            _ => return None,
+        }
+    }
+    Some(run)
+}
+
+/// Store a run under `key`.
+pub fn store(
+    path: &Path,
+    key: u64,
+    findings: &[Finding],
+    inventory: &[InventoryEntry],
+) -> io::Result<()> {
+    let mut body = format!("# {CACHE_VERSION}\nkey {key:016x}\n");
+    for f in findings {
+        body.push_str(&format!(
+            "finding\t{}\t{}\t{}\t{}\n",
+            f.rule,
+            escape(&f.file),
+            f.line,
+            escape(&f.message)
+        ));
+    }
+    for e in inventory {
+        body.push_str(&format!(
+            "inv\t{}\t{}\n",
+            if e.exact { "exact" } else { "frag" },
+            escape(&e.key)
+        ));
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_findings_and_inventory() {
+        let findings = vec![Finding {
+            rule: "hot-path-alloc",
+            file: "crates/x/a.rs".into(),
+            line: 3,
+            message: "weird\tmessage\nwith breaks \\".into(),
+        }];
+        let inventory = vec![
+            InventoryEntry {
+                exact: true,
+                key: "sharded.wall_ns".into(),
+            },
+            InventoryEntry {
+                exact: false,
+                key: "barrier_wait_ns".into(),
+            },
+        ];
+        let dir = std::env::temp_dir().join("atos-lint-cache-test");
+        let path = dir.join("cache.txt");
+        store(&path, 42, &findings, &inventory).unwrap();
+        let run = load(&path, 42).expect("hit");
+        assert_eq!(run.findings, findings);
+        assert_eq!(run.inventory, inventory);
+        assert!(load(&path, 43).is_none(), "different key must miss");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_tracks_content_and_paths() {
+        let ws1 = Workspace::from_sources(vec![("a.rs".into(), "fn a() {}".into())]);
+        let ws2 = Workspace::from_sources(vec![("a.rs".into(), "fn b() {}".into())]);
+        let ws3 = Workspace::from_sources(vec![("b.rs".into(), "fn a() {}".into())]);
+        assert_ne!(workspace_key(&ws1), workspace_key(&ws2));
+        assert_ne!(workspace_key(&ws1), workspace_key(&ws3));
+        assert_eq!(
+            workspace_key(&ws1),
+            workspace_key(&Workspace::from_sources(vec![(
+                "a.rs".into(),
+                "fn a() {}".into()
+            )]))
+        );
+    }
+}

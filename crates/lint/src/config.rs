@@ -24,6 +24,18 @@ pub struct KernelScope {
     pub forbid_index: bool,
 }
 
+/// A barrier-protocol scope: one source file plus the window-loop
+/// functions inside it whose phase structure (`publish` → `barrier.wait`
+/// → `drain` → `barrier.wait` → `run_window`) the `barrier-phase` rule
+/// checks statically.
+#[derive(Debug, Clone)]
+pub struct BarrierScope {
+    /// Path suffix identifying the file (always `/`-separated).
+    pub file_suffix: &'static str,
+    /// Function names inside that file containing a window loop.
+    pub fns: &'static [&'static str],
+}
+
 /// A function treated as `#[atos_hot]` without carrying the attribute
 /// (used for crates that must stay dependency-free, like `atos-queue`,
 /// which cannot depend on the proc-macro crate).
@@ -55,6 +67,27 @@ pub struct Config {
     pub sim_paths: &'static [&'static str],
     /// Identifiers forbidden in deterministic-simulation code.
     pub sim_forbidden: &'static [&'static str],
+    /// Wall-clock taint sources written as paths (`Type::assoc`); matched
+    /// against the trailing two path segments of a call, so both
+    /// `Instant::now()` and `std::time::Instant::now()` hit.
+    pub taint_path_sources: &'static [&'static str],
+    /// Wall-clock taint sources written as bare calls or methods:
+    /// functions whose return value reads a real clock.
+    pub taint_method_sources: &'static [&'static str],
+    /// Host-nondeterminism taint sources (not clocks): thread counts,
+    /// contention probes. Inventoried at metric sinks but not findings at
+    /// trace sinks (see the rationale in [`crate::taint`]).
+    pub taint_nondet_sources: &'static [&'static str],
+    /// Window-barrier protocol scopes for the `barrier-phase` rule.
+    pub barrier_scopes: &'static [BarrierScope],
+    /// Path fragments of files *opaque* to the determinism-taint pass.
+    /// Two categories: code that is not part of the shipped runtime
+    /// (integration tests, benches, the linter itself), and generic
+    /// value-agnostic plumbing (the atomics facade / model-checker shims)
+    /// where many unrelated call sites resolve to one shared definition —
+    /// propagating taint through those conflates every atomic in the
+    /// workspace into one abstract cell and drowns the analysis.
+    pub taint_exclude: &'static [&'static str],
 }
 
 impl Config {
@@ -191,6 +224,43 @@ impl Config {
                 "available_parallelism",
                 "sleep",
             ],
+            taint_path_sources: &[
+                "Instant::now",
+                "SystemTime::now",
+                "std::time::Instant::now",
+                "std::time::SystemTime::now",
+                "time::Instant::now",
+                "time::SystemTime::now",
+            ],
+            taint_method_sources: &[
+                // Wall-clock interval reads.
+                "elapsed",
+            ],
+            taint_nondet_sources: &[
+                // Host thread-count query (facade wrapper included).
+                "available_parallelism",
+                "host_parallelism",
+                // Barrier contention probe (spin/yield counts are
+                // scheduling-dependent).
+                "yield_waits",
+                // Process-global queue contention counters (CAS retries,
+                // host occupancy high-water marks).
+                "global_snapshot",
+            ],
+            barrier_scopes: &[BarrierScope {
+                file_suffix: "crates/core/src/runtime.rs",
+                fns: &["shard_worker"],
+            }],
+            taint_exclude: &[
+                "/tests/",
+                "/benches/",
+                "/examples/",
+                "examples/",
+                "crates/lint/",
+                "crates/check/",
+                "crates/xtask/",
+                "/src/sync.rs",
+            ],
         }
     }
 
@@ -212,6 +282,18 @@ impl Config {
             }],
             sim_paths: &["sim_determinism.rs"],
             sim_forbidden: Config::project().sim_forbidden,
+            taint_path_sources: Config::project().taint_path_sources,
+            taint_method_sources: Config::project().taint_method_sources,
+            taint_nondet_sources: Config::project().taint_nondet_sources,
+            barrier_scopes: &[BarrierScope {
+                file_suffix: "barrier_phase.rs",
+                fns: &[
+                    "window_loop",
+                    "window_loop_skips_drain",
+                    "window_loop_ok",
+                ],
+            }],
+            taint_exclude: &[],
         }
     }
 
@@ -233,6 +315,18 @@ impl Config {
     /// The kernel scope covering `path`, if any.
     pub fn kernel_scope(&self, path: &str) -> Option<&KernelScope> {
         self.kernel_scopes
+            .iter()
+            .find(|s| path.ends_with(s.file_suffix))
+    }
+
+    /// Is `path` opaque to the determinism-taint pass?
+    pub fn is_taint_excluded(&self, path: &str) -> bool {
+        self.taint_exclude.iter().any(|p| path.contains(p))
+    }
+
+    /// The barrier-protocol scope covering `path`, if any.
+    pub fn barrier_scope(&self, path: &str) -> Option<&BarrierScope> {
+        self.barrier_scopes
             .iter()
             .find(|s| path.ends_with(s.file_suffix))
     }

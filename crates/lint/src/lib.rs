@@ -18,12 +18,29 @@
 //! 4. `acquire-pairing` — relaxed load of a publish counter followed by a
 //!    cell read with no acquire in between.
 //! 5. `hot-path-alloc` — allocation in `#[atos_hot]` functions (or the
-//!    configured denylist) and their direct callees.
+//!    configured denylist) and, transitively, in anything they reach
+//!    through the workspace call graph ([`callgraph`] + fixed-point
+//!    effect summaries in [`summaries`]); `#[atos_alloc_ok]` vets a
+//!    definition and stops the propagation there.
 //! 6. `panic-in-kernel` — `unwrap`/`expect`/`panic!`/panicking indexes in
-//!    queue-protocol and runtime-step code.
+//!    queue-protocol and runtime-step code, again propagated transitively
+//!    so an outlined `#[cold]` abort helper is attributed to its kernel
+//!    callers.
 //! 7. `sim-determinism` — wall-clock, sleeps, and default-hasher
 //!    containers in the simulator.
 //! 8. `missing-safety` — `unsafe` without a `SAFETY:` comment.
+//! 9. `determinism-taint` — dataflow pass ([`taint`]) tracing wall-clock
+//!    reads (`Instant::now`, `.elapsed()`) and host-nondeterminism probes
+//!    (thread counts, contention counters) through locals, fields, and
+//!    return values. Wall-clock taint reaching a *trace* sink is a
+//!    finding (traces are golden-compared and must carry virtual time
+//!    only); either kind reaching a *metrics* sink lands in the generated
+//!    wall-clock key inventory (`--wall-clock-inventory`), which
+//!    `crates/bench/tests/trace_golden.rs` consumes instead of a
+//!    hand-maintained skip list.
+//! 10. `barrier-phase` — protocol check on the sharded engine's window
+//!     loop: publish → barrier.wait → drain → barrier.wait → run_window,
+//!     in that order, for every configured `barrier_scopes` function.
 //!
 //! Suppression is always visible in the diff: `#[allow_atos_lint(rule)]`
 //! on an item, an `atos-lint: allow(rule)` comment on the finding line or
@@ -32,11 +49,16 @@
 //! `mutations.rs`).
 
 pub mod baseline;
+pub mod cache;
+pub mod callgraph;
 pub mod config;
 pub mod lints;
 pub mod model;
 pub mod parse;
 pub mod report;
+pub mod sarif;
+pub mod summaries;
+pub mod taint;
 
 use std::fs;
 use std::io;
@@ -69,6 +91,9 @@ impl Finding {
 pub struct SourceFile {
     /// Workspace-relative `/`-separated path.
     pub path: String,
+    /// Raw source text (retained for baseline snippet fingerprints and
+    /// the content-hash lint cache).
+    pub src: String,
     /// Parsed view.
     pub parsed: parse::ParsedFile,
     /// `lint:skip-file` marker present in the first ten lines.
@@ -95,6 +120,7 @@ impl Workspace {
                     .any(|l| l.contains("lint:skip-file")),
                 parsed: parse::parse(&src),
                 path: path.replace('\\', "/"),
+                src,
             })
             .collect();
         Workspace { files }
@@ -187,7 +213,17 @@ fn suppressed(file: &SourceFile, f: &Finding) -> bool {
 /// Run every rule, apply suppressions, and return findings sorted by
 /// `(file, line, rule)` — a stable order for goldens and baselines.
 pub fn run(ws: &Workspace, cfg: &config::Config) -> Vec<Finding> {
-    let mut findings: Vec<Finding> = lints::run_all(ws, cfg)
+    run_with_analysis(ws, cfg, &lints::analyze(ws, cfg))
+}
+
+/// Like [`run`], against a prebuilt analysis (the CLI builds it once and
+/// also consumes its wall-clock key inventory).
+pub fn run_with_analysis(
+    ws: &Workspace,
+    cfg: &config::Config,
+    an: &lints::Analysis,
+) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = lints::run_with(ws, cfg, an)
         .into_iter()
         .filter(|f| {
             ws.files

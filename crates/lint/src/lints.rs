@@ -5,9 +5,12 @@
 //! comments, `lint:skip-file` markers) is applied centrally by
 //! [`crate::run`], so rules report every raw site they see.
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::model::{events_of, Event, Ord};
 use crate::parse::{FnItem, TokKind};
+use crate::summaries::{alloc_vetted, panic_vetted, Summaries, Why};
+use crate::taint::{self, TaintResult};
 use crate::{Finding, SourceFile, Workspace};
 
 /// All rule identifiers, in report order.
@@ -20,10 +23,39 @@ pub const RULES: &[&str] = &[
     "panic-in-kernel",
     "sim-determinism",
     "missing-safety",
+    "determinism-taint",
+    "barrier-phase",
 ];
 
-/// Run every rule over the workspace.
+/// The interprocedural substrate the rules share: built once per run.
+pub struct Analysis {
+    /// Resolved call graph.
+    pub graph: CallGraph,
+    /// Per-function effect summaries at their fixed point.
+    pub summaries: Summaries,
+    /// Determinism-taint findings and wall-clock key inventory.
+    pub taint: TaintResult,
+}
+
+/// Build the call graph, effect summaries, and taint analysis.
+pub fn analyze(ws: &Workspace, cfg: &Config) -> Analysis {
+    let graph = CallGraph::build(ws);
+    let summaries = Summaries::compute(ws, cfg, &graph);
+    let taint = taint::analyze(ws, cfg, &graph);
+    Analysis {
+        graph,
+        summaries,
+        taint,
+    }
+}
+
+/// Run every rule over the workspace (building the analysis internally).
 pub fn run_all(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    run_with(ws, cfg, &analyze(ws, cfg))
+}
+
+/// Run every rule against a prebuilt [`Analysis`].
+pub fn run_with(ws: &Workspace, cfg: &Config, an: &Analysis) -> Vec<Finding> {
     let mut out = Vec::new();
     for (fi, file) in ws.files.iter().enumerate() {
         if file.skip {
@@ -31,11 +63,13 @@ pub fn run_all(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
         }
         facade_bypass(file, cfg, &mut out);
         ordering_rules(file, cfg, &mut out);
-        hot_path_alloc(ws, fi, cfg, &mut out);
-        panic_in_kernel(file, cfg, &mut out);
+        hot_path_alloc(ws, fi, cfg, an, &mut out);
+        panic_in_kernel(ws, fi, cfg, an, &mut out);
         sim_determinism(file, cfg, &mut out);
         missing_safety(file, &mut out);
+        barrier_phase(file, cfg, &mut out);
     }
+    out.extend(an.taint.findings.iter().cloned());
     out
 }
 
@@ -223,7 +257,7 @@ fn ordering_rules(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
 
 // ------------------------------------------------------------ hot-path
 
-const ALLOC_METHODS: &[&str] = &[
+pub(crate) const ALLOC_METHODS: &[&str] = &[
     "with_capacity",
     "collect",
     "to_vec",
@@ -233,11 +267,11 @@ const ALLOC_METHODS: &[&str] = &[
     "reserve",
     "reserve_exact",
 ];
-const ALLOC_NEW_PATHS: &[&str] = &["Box::", "Rc::", "Arc::"];
-const ALLOC_MACROS: &[&str] = &["vec", "format"];
+pub(crate) const ALLOC_NEW_PATHS: &[&str] = &["Box::", "Rc::", "Arc::"];
+pub(crate) const ALLOC_MACROS: &[&str] = &["vec", "format"];
 
 /// Does this event allocate? Returns a short description if so.
-fn alloc_pattern(e: &Event) -> Option<String> {
+pub(crate) fn alloc_pattern(e: &Event) -> Option<String> {
     match e {
         Event::Macro { name, .. } if ALLOC_MACROS.contains(&name.as_str()) => {
             Some(format!("{name}!"))
@@ -257,66 +291,8 @@ fn alloc_pattern(e: &Event) -> Option<String> {
     }
 }
 
-/// Which crate (by `crates/<name>/` path segment) a file belongs to.
-fn crate_of(path: &str) -> &str {
-    if let Some(i) = path.find("crates/") {
-        let rest = &path[i + "crates/".len()..];
-        rest.split('/').next().unwrap_or("")
-    } else {
-        ""
-    }
-}
-
-/// Resolve a call by name: unique non-test fn in the same file, else
-/// unique in the same crate, else (for path-qualified calls only) unique
-/// in the workspace. Method calls and bare calls never resolve across
-/// crates — a `.write(..)` on a raw pointer must not resolve to some
-/// unrelated crate's `write` function. Ambiguous or unknown names (std
-/// methods, trait calls with many impls) resolve to nothing — the
-/// dynamic `alloc_count` guard covers what name resolution cannot.
-fn resolve_call(
-    ws: &Workspace,
-    from_file: usize,
-    name: &str,
-    qualified: bool,
-) -> Option<(usize, usize)> {
-    let mut same_file = Vec::new();
-    let mut same_crate = Vec::new();
-    let mut anywhere = Vec::new();
-    let from_crate = crate_of(&ws.files[from_file].path);
-    for (fi, file) in ws.files.iter().enumerate() {
-        if file.skip {
-            continue;
-        }
-        for (gi, g) in file.parsed.fns.iter().enumerate() {
-            if g.name != name || g.in_test_mod || g.body.is_empty() {
-                continue;
-            }
-            anywhere.push((fi, gi));
-            if fi == from_file {
-                same_file.push((fi, gi));
-            } else if crate_of(&file.path) == from_crate {
-                same_crate.push((fi, gi));
-            }
-        }
-    }
-    let buckets = if qualified {
-        vec![same_file, same_crate, anywhere]
-    } else {
-        vec![same_file, same_crate]
-    };
-    for bucket in buckets {
-        match bucket.len() {
-            0 => continue,
-            1 => return Some(bucket[0]),
-            _ => return None,
-        }
-    }
-    None
-}
-
 /// Is this function hot: annotated `#[atos_hot]` or config-denylisted.
-fn is_hot(file: &SourceFile, f: &FnItem, cfg: &Config) -> bool {
+pub(crate) fn is_hot(file: &SourceFile, f: &FnItem, cfg: &Config) -> bool {
     if f.in_test_mod || f.body.is_empty() {
         return false;
     }
@@ -324,23 +300,26 @@ fn is_hot(file: &SourceFile, f: &FnItem, cfg: &Config) -> bool {
         || cfg.hot_fns(&file.path).contains(&f.name.as_str())
 }
 
-fn has_allow(f: &FnItem, rule_snake: &str) -> bool {
-    f.attrs
-        .iter()
-        .any(|a| a.name == "allow_atos_lint" && a.args.iter().any(|x| x == rule_snake))
-}
-
 /// Rule 5: `hot-path-alloc` — no allocating construct in a hot function
-/// or in any workspace function it calls directly (one level deep).
-fn hot_path_alloc(ws: &Workspace, fi: usize, cfg: &Config, out: &mut Vec<Finding>) {
+/// or, transitively, in anything it calls through the resolved call
+/// graph. A direct callee that allocates locally keeps the original
+/// one-hop message; deeper chains spell out the call path. Callees
+/// vetted at their own definition (hot themselves, `#[atos_alloc_ok]`,
+/// or an allow) stop the walk.
+fn hot_path_alloc(
+    ws: &Workspace,
+    fi: usize,
+    cfg: &Config,
+    an: &Analysis,
+    out: &mut Vec<Finding>,
+) {
     let file = &ws.files[fi];
-    for f in &file.parsed.fns {
+    for (gi, f) in file.parsed.fns.iter().enumerate() {
         if !is_hot(file, f, cfg) {
             continue;
         }
-        let evs = events_of(&file.parsed, f);
-        for e in &evs {
-            if let Some(pat) = alloc_pattern(e) {
+        for e in events_of(&file.parsed, f) {
+            if let Some(pat) = alloc_pattern(&e) {
                 out.push(finding(
                     "hot-path-alloc",
                     file,
@@ -349,41 +328,61 @@ fn hot_path_alloc(ws: &Workspace, fi: usize, cfg: &Config, out: &mut Vec<Finding
                 ));
             }
         }
-        // One level deep: direct callees.
         let mut checked: Vec<&str> = Vec::new();
-        for e in &evs {
-            let (name, path, line) = match e {
-                Event::Call { name, path, line } => (name.as_str(), path.as_str(), *line),
-                _ => continue,
-            };
-            if checked.contains(&name) {
+        for site in an.graph.callees_of((fi, gi)) {
+            if checked.contains(&site.name.as_str()) {
                 continue;
             }
-            checked.push(name);
-            let Some((cfi, cgi)) = resolve_call(ws, fi, name, !path.is_empty()) else {
+            checked.push(&site.name);
+            if alloc_vetted(ws, cfg, site.callee) {
                 continue;
-            };
+            }
+            let (cfi, cgi) = site.callee;
             let cfile = &ws.files[cfi];
             let callee = &cfile.parsed.fns[cgi];
-            // Hot callees get their own direct report; suppressed callees
-            // are vetted at their definition.
-            if is_hot(cfile, callee, cfg) || has_allow(callee, "hot_path_alloc") {
-                continue;
-            }
-            for ce in events_of(&cfile.parsed, callee) {
-                if let Some(pat) = alloc_pattern(&ce) {
+            match an.summaries.of(site.callee).alloc {
+                None => {}
+                Some(Why::Local { .. }) => {
+                    // Depth 1: report every local allocation in the callee.
+                    for ce in events_of(&cfile.parsed, callee) {
+                        if let Some(pat) = alloc_pattern(&ce) {
+                            out.push(finding(
+                                "hot-path-alloc",
+                                file,
+                                site.line,
+                                format!(
+                                    "hot-path fn `{}` calls `{}` ({}:{}), which allocates \
+                                     (`{pat}` at line {})",
+                                    f.name,
+                                    callee.name,
+                                    cfile.path,
+                                    callee.line,
+                                    ce.line()
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Some(Why::Via { .. }) => {
+                    let Some((hops, pat, pfile, pline)) =
+                        an.summaries.chain(ws, site.callee, |e| e.alloc.clone())
+                    else {
+                        continue;
+                    };
+                    let chain: Vec<String> =
+                        hops.iter().map(|(n, _, _)| format!("`{n}`")).collect();
                     out.push(finding(
                         "hot-path-alloc",
                         file,
-                        line,
+                        site.line,
                         format!(
                             "hot-path fn `{}` calls `{}` ({}:{}), which allocates \
-                             (`{pat}` at line {})",
+                             transitively via {} (`{pat}` at {pfile}:{pline})",
                             f.name,
                             callee.name,
                             cfile.path,
                             callee.line,
-                            ce.line()
+                            chain.join(" -> ")
                         ),
                     ));
                 }
@@ -394,19 +393,69 @@ fn hot_path_alloc(ws: &Workspace, fi: usize, cfg: &Config, out: &mut Vec<Finding
 
 // ------------------------------------------------------- panic-in-kernel
 
-const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne"];
-const PANIC_CALLS: &[&str] = &["unwrap", "expect"];
+pub(crate) const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne"];
+pub(crate) const PANIC_CALLS: &[&str] = &["unwrap", "expect"];
 
 /// Rule 6: `panic-in-kernel` — no panicking construct in queue-protocol
-/// and runtime-step functions. A panic between reservation and
-/// publication strands the reservation for every other thread.
-fn panic_in_kernel(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+/// and runtime-step functions, nor (transitively) in anything they call
+/// through the resolved call graph. A panic between reservation and
+/// publication strands the reservation for every other thread. Callees
+/// vetted at their own definition (kernel-scope themselves, or carrying
+/// an allow) stop the walk; panicking *indexing* stays a local judgment
+/// (`forbid_index`) and is not propagated.
+fn panic_in_kernel(
+    ws: &Workspace,
+    fi: usize,
+    cfg: &Config,
+    an: &Analysis,
+    out: &mut Vec<Finding>,
+) {
+    let file = &ws.files[fi];
     let Some(scope) = cfg.kernel_scope(&file.path) else {
         return;
     };
-    for f in &file.parsed.fns {
+    for (gi, f) in file.parsed.fns.iter().enumerate() {
         if f.in_test_mod || !scope.fns.contains(&f.name.as_str()) {
             continue;
+        }
+        let mut checked: Vec<&str> = Vec::new();
+        for site in an.graph.callees_of((fi, gi)) {
+            if checked.contains(&site.name.as_str()) {
+                continue;
+            }
+            checked.push(&site.name);
+            if panic_vetted(ws, cfg, site.callee) {
+                continue;
+            }
+            if an.summaries.of(site.callee).panic.is_none() {
+                continue;
+            }
+            let Some((hops, pat, pfile, pline)) =
+                an.summaries.chain(ws, site.callee, |e| e.panic.clone())
+            else {
+                continue;
+            };
+            let (cfi, cgi) = site.callee;
+            let cfile = &ws.files[cfi];
+            let callee = &cfile.parsed.fns[cgi];
+            let via = if hops.len() > 1 {
+                let chain: Vec<String> =
+                    hops.iter().map(|(n, _, _)| format!("`{n}`")).collect();
+                format!(" via {}", chain.join(" -> "))
+            } else {
+                String::new()
+            };
+            out.push(finding(
+                "panic-in-kernel",
+                file,
+                site.line,
+                format!(
+                    "protocol fn `{}` calls `{}` ({}:{}), which can panic{via} \
+                     (`{pat}` at {pfile}:{pline}); outline the failure path and vet \
+                     it, or handle the error arm",
+                    f.name, callee.name, cfile.path, callee.line
+                ),
+            ));
         }
         for e in events_of(&file.parsed, f) {
             match &e {
@@ -520,6 +569,117 @@ fn missing_safety(file: &SourceFile, out: &mut Vec<Finding>) {
                  the 8 preceding lines"
                     .into(),
             ));
+        }
+    }
+}
+
+// --------------------------------------------------------- barrier-phase
+
+/// One phase event in a window loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// `board.publish(..)` — cross-shard row handoff.
+    Publish,
+    /// `barrier.wait()` — the generation flip that publishes the board.
+    Wait,
+    /// `board.drain(..)` — absorbing rows published *before* the barrier.
+    Drain,
+    /// `sub.run_window(..)` — executing the window.
+    Run,
+}
+
+/// Rule 10: `barrier-phase` — the sharded window loop must order its
+/// phases `publish → barrier.wait → drain → barrier.wait → run_window`.
+/// The ExchangeBoard's plain cell writes are published only by the
+/// SpinBarrier's AcqRel generation flip, so a publish after the first
+/// wait is invisible to this window's drains, a drain before it can read
+/// torn rows, and running the window before the second wait races the
+/// drains of slower shards. The scope (which file, which functions) is
+/// configuration, like kernel scopes.
+fn barrier_phase(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    let Some(scope) = cfg.barrier_scope(&file.path) else {
+        return;
+    };
+    for f in &file.parsed.fns {
+        if f.in_test_mod || !scope.fns.contains(&f.name.as_str()) {
+            continue;
+        }
+        let mut seq: Vec<(Phase, u32)> = Vec::new();
+        for e in events_of(&file.parsed, f) {
+            // `board.drain(..)` arrives as a method call; `barrier.wait()`
+            // likewise. `recv` filters out unrelated `.drain(..)` /
+            // `.wait()` calls on other receivers (outbox drains, condvars).
+            let Event::Call {
+                name, recv, line, ..
+            } = &e
+            else {
+                continue;
+            };
+            let phase = match name.as_str() {
+                "publish" if recv.contains("board") => Phase::Publish,
+                "wait" if recv.contains("barrier") => Phase::Wait,
+                "drain" if recv.contains("board") => Phase::Drain,
+                "run_window" => Phase::Run,
+                _ => continue,
+            };
+            seq.push((phase, *line));
+        }
+        let count = |p: Phase| seq.iter().filter(|(q, _)| *q == p).count();
+        let missing: Vec<&str> = [
+            (Phase::Publish, 1, "publish"),
+            (Phase::Wait, 2, "two barrier waits"),
+            (Phase::Drain, 1, "drain"),
+            (Phase::Run, 1, "run_window"),
+        ]
+        .iter()
+        .filter(|(p, n, _)| count(*p) < *n)
+        .map(|(_, _, what)| *what)
+        .collect();
+        if !missing.is_empty() {
+            out.push(finding(
+                "barrier-phase",
+                file,
+                f.line,
+                format!(
+                    "window loop `{}` misses: {} (expected publish -> barrier.wait \
+                     -> drain -> barrier.wait -> run_window)",
+                    f.name,
+                    missing.join(", ")
+                ),
+            ));
+            continue;
+        }
+        let first_wait = seq.iter().position(|(p, _)| *p == Phase::Wait).unwrap();
+        let second_wait = first_wait
+            + 1
+            + seq[first_wait + 1..]
+                .iter()
+                .position(|(p, _)| *p == Phase::Wait)
+                .unwrap();
+        for (i, (p, line)) in seq.iter().enumerate() {
+            let violation = match p {
+                Phase::Publish if i > first_wait => Some(
+                    "publish after the first barrier wait: the row is invisible \
+                     to this window's drains",
+                ),
+                Phase::Drain if i < first_wait => Some(
+                    "drain before the first barrier wait: the board is not yet \
+                     published and the read can tear",
+                ),
+                Phase::Run if i < second_wait => Some(
+                    "run_window before the second barrier wait: races the drains \
+                     of slower shards",
+                ),
+                _ => None,
+            };
+            if let Some(v) = violation {
+                out.push(finding(
+                    "barrier-phase",
+                    file,
+                    *line,
+                    format!("{v} (in window loop `{}`)", f.name),
+                ));
+            }
         }
     }
 }

@@ -1,30 +1,56 @@
 //! `atos-lint` CLI.
 //!
 //! ```text
-//! atos-lint --workspace [--json] [--deny-new] [--baseline FILE] [--write-baseline]
+//! atos-lint --workspace [--emit human|json|sarif] [--deny-new]
+//!           [--baseline FILE] [--write-baseline] [--cache FILE]
+//!           [--wall-clock-inventory FILE]
 //! atos-lint PATH...            # lint specific files/directories
 //! ```
+//!
+//! `--json` is a legacy alias for `--emit json`. `--cache FILE` keys the
+//! run on a content hash of the workspace and replays findings (and the
+//! wall-clock inventory) byte-identically on a hit.
+//! `--wall-clock-inventory FILE` writes the determinism-taint pass's
+//! metric-key inventory (the artifact `crates/bench/tests/trace_golden.rs`
+//! consumes).
 //!
 //! Exit codes: 0 = clean (or all findings baselined under `--deny-new`),
 //! 1 = findings, 2 = usage or I/O error.
 
-use atos_lint::{baseline, config::Config, report, run, Workspace};
+use atos_lint::{
+    baseline, cache,
+    config::Config,
+    lints, report, run_with_analysis, sarif,
+    taint::{render_inventory, InventoryEntry},
+    Finding, Workspace,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Emit {
+    Human,
+    Json,
+    Sarif,
+}
 
 struct Args {
     workspace: bool,
-    json: bool,
+    emit: Emit,
     deny_new: bool,
     write_baseline: bool,
     baseline: Option<PathBuf>,
+    cache: Option<PathBuf>,
+    inventory: Option<PathBuf>,
     paths: Vec<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: atos-lint (--workspace | PATH...) [--json] [--deny-new] \
-         [--baseline FILE] [--write-baseline]"
+        "usage: atos-lint (--workspace | PATH...) [--emit human|json|sarif] \
+         [--json] [--deny-new] [--baseline FILE] [--write-baseline] \
+         [--cache FILE] [--wall-clock-inventory FILE]"
     );
     ExitCode::from(2)
 }
@@ -32,21 +58,37 @@ fn usage() -> ExitCode {
 fn parse_args() -> Result<Args, ExitCode> {
     let mut a = Args {
         workspace: false,
-        json: false,
+        emit: Emit::Human,
         deny_new: false,
         write_baseline: false,
         baseline: None,
+        cache: None,
+        inventory: None,
         paths: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workspace" => a.workspace = true,
-            "--json" => a.json = true,
+            "--json" => a.emit = Emit::Json,
+            "--emit" => match it.next().as_deref() {
+                Some("human") => a.emit = Emit::Human,
+                Some("json") => a.emit = Emit::Json,
+                Some("sarif") => a.emit = Emit::Sarif,
+                _ => return Err(usage()),
+            },
             "--deny-new" => a.deny_new = true,
             "--write-baseline" => a.write_baseline = true,
             "--baseline" => match it.next() {
                 Some(p) => a.baseline = Some(PathBuf::from(p)),
+                None => return Err(usage()),
+            },
+            "--cache" => match it.next() {
+                Some(p) => a.cache = Some(PathBuf::from(p)),
+                None => return Err(usage()),
+            },
+            "--wall-clock-inventory" => match it.next() {
+                Some(p) => a.inventory = Some(PathBuf::from(p)),
                 None => return Err(usage()),
             },
             "-h" | "--help" => return Err(usage()),
@@ -83,6 +125,7 @@ fn main() -> ExitCode {
         Err(code) => return code,
     };
 
+    let t0 = Instant::now();
     let (root, ws) = if args.workspace {
         let Some(root) = find_workspace_root() else {
             eprintln!("atos-lint: no workspace root ([workspace] in Cargo.toml) above cwd");
@@ -107,7 +150,48 @@ fn main() -> ExitCode {
         (cwd, Workspace::from_sources(sources))
     };
 
-    let findings = run(&ws, &Config::project());
+    let cfg = Config::project();
+    let (findings, inventory, cache_state): (Vec<Finding>, Vec<InventoryEntry>, &str) =
+        match &args.cache {
+            Some(cache_path) => {
+                let key = cache::workspace_key(&ws);
+                if let Some(hit) = cache::load(cache_path, key) {
+                    (hit.findings, hit.inventory, "cache hit")
+                } else {
+                    let an = lints::analyze(&ws, &cfg);
+                    let findings = run_with_analysis(&ws, &cfg, &an);
+                    let inventory = an.taint.inventory;
+                    if let Err(e) = cache::store(cache_path, key, &findings, &inventory) {
+                        eprintln!("atos-lint: writing {}: {e}", cache_path.display());
+                    }
+                    (findings, inventory, "cache miss")
+                }
+            }
+            None => {
+                let an = lints::analyze(&ws, &cfg);
+                let findings = run_with_analysis(&ws, &cfg, &an);
+                (findings, an.taint.inventory, "no cache")
+            }
+        };
+    eprintln!(
+        "atos-lint: {} files, {} finding{} in {:.1} ms ({cache_state})",
+        ws.files.len(),
+        findings.len(),
+        if findings.len() == 1 { "" } else { "s" },
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    if let Some(inv_path) = &args.inventory {
+        if let Some(parent) = inv_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+        }
+        if let Err(e) = std::fs::write(inv_path, render_inventory(&inventory)) {
+            eprintln!("atos-lint: writing {}: {e}", inv_path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     let base_path = args
         .baseline
@@ -115,7 +199,7 @@ fn main() -> ExitCode {
         .unwrap_or_else(|| root.join(".atos-lint-baseline"));
 
     if args.write_baseline {
-        if let Err(e) = baseline::write(&base_path, &findings) {
+        if let Err(e) = baseline::write(&base_path, &ws, &findings) {
             eprintln!("atos-lint: writing {}: {e}", base_path.display());
             return ExitCode::from(2);
         }
@@ -128,7 +212,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let effective: Vec<_> = if args.deny_new {
+    let effective: Vec<Finding> = if args.deny_new {
         let base = match baseline::load(&base_path) {
             Ok(b) => b,
             Err(e) => {
@@ -136,7 +220,28 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        baseline::new_findings(&findings, &base)
+        if base.was_v1 {
+            // Migrate in place: re-fingerprint the findings the v1 file
+            // covered; stale v1 entries (already-fixed findings) drop out.
+            let covered: Vec<Finding> = findings
+                .iter()
+                .filter(|f| base.v1.contains(&f.key()))
+                .cloned()
+                .collect();
+            match baseline::write(&base_path, &ws, &covered) {
+                Ok(()) => eprintln!(
+                    "atos-lint: migrated {} to the v2 fingerprint format \
+                     ({} entr{})",
+                    base_path.display(),
+                    covered.len(),
+                    if covered.len() == 1 { "y" } else { "ies" }
+                ),
+                Err(e) => {
+                    eprintln!("atos-lint: migrating {}: {e}", base_path.display())
+                }
+            }
+        }
+        baseline::new_findings(&ws, &findings, &base)
             .into_iter()
             .cloned()
             .collect()
@@ -144,10 +249,10 @@ fn main() -> ExitCode {
         findings
     };
 
-    if args.json {
-        println!("{}", report::json(&effective));
-    } else {
-        print!("{}", report::human(&effective));
+    match args.emit {
+        Emit::Json => println!("{}", report::json(&effective)),
+        Emit::Sarif => println!("{}", sarif::sarif(&effective)),
+        Emit::Human => print!("{}", report::human(&effective)),
     }
     if effective.is_empty() {
         ExitCode::SUCCESS

@@ -68,7 +68,16 @@ pub enum Event {
     /// `fence(ord)`.
     Fence { ord: Ord, line: u32 },
     /// A call: free/associated (`path::name(`) or method (`.name(`).
-    Call { name: String, path: String, line: u32 },
+    /// For method calls `recv` is the receiver field/variable name (as
+    /// [`receiver_field`] resolves it) and `method` is true; for
+    /// free/associated calls `recv` is empty and `method` is false.
+    Call {
+        name: String,
+        path: String,
+        recv: String,
+        method: bool,
+        line: u32,
+    },
     /// A macro invocation `name!`.
     Macro { name: String, line: u32 },
     /// Indexing into a named place: `ident[…]` (slice/array index that can
@@ -138,7 +147,7 @@ fn orderings_in_args(toks: &[Tok], open: usize) -> Vec<Ord> {
 /// walks left over one `[…]` index chain and takes the identifier, e.g.
 /// `self.slots[(idx) as usize].with_mut` → `slots`;
 /// `self.end.load` → `end`; `q.end_alloc.fetch_add` → `end_alloc`.
-fn receiver_field(toks: &[Tok], dot: usize) -> String {
+pub(crate) fn receiver_field(toks: &[Tok], dot: usize) -> String {
     let mut i = dot;
     // Step left over a closing bracket chain.
     loop {
@@ -226,6 +235,8 @@ pub fn events_of(file: &ParsedFile, f: &FnItem) -> Vec<Event> {
                 _ => out.push(Event::Call {
                     name: name.to_string(),
                     path: String::new(),
+                    recv: field,
+                    method: true,
                     line,
                 }),
             }
@@ -262,6 +273,8 @@ pub fn events_of(file: &ParsedFile, f: &FnItem) -> Vec<Event> {
                     out.push(Event::Call {
                         name: t.text.clone(),
                         path,
+                        recv: String::new(),
+                        method: false,
                         line: t.line,
                     });
                 }

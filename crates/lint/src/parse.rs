@@ -35,6 +35,11 @@ pub struct Tok {
     /// Token text (`"::"`, `"fn"`, `"("`, …). Literals are reduced to a
     /// placeholder so their contents can never pattern-match as code.
     pub text: String,
+    /// For string literals only: the literal's contents. Kept out of
+    /// `text` so string contents can never pattern-match as code, but
+    /// available to passes that need the value (the determinism-taint
+    /// pass reads metric *keys* out of `reg.set("key", …)` calls).
+    pub str_lit: Option<String>,
 }
 
 impl Tok {
@@ -74,7 +79,20 @@ pub fn lex(src: &str) -> Lexed {
     let n = b.len();
 
     let push = |out: &mut Lexed, line: u32, kind: TokKind, text: String| {
-        out.toks.push(Tok { line, kind, text });
+        out.toks.push(Tok {
+            line,
+            kind,
+            text,
+            str_lit: None,
+        });
+    };
+    let push_str = |out: &mut Lexed, line: u32, contents: String| {
+        out.toks.push(Tok {
+            line,
+            kind: TokKind::Lit,
+            text: "\"…\"".into(),
+            str_lit: Some(contents),
+        });
     };
 
     while i < n {
@@ -122,16 +140,14 @@ pub fn lex(src: &str) -> Lexed {
                 });
             }
             '"' => {
-                // String literal (escapes honored).
+                // String literal (escapes honored; contents captured).
                 let start_line = line;
+                let start = i + 1;
                 i += 1;
                 while i < n {
                     match b[i] {
                         '\\' => i += 2,
-                        '"' => {
-                            i += 1;
-                            break;
-                        }
+                        '"' => break,
                         '\n' => {
                             line += 1;
                             i += 1;
@@ -139,7 +155,11 @@ pub fn lex(src: &str) -> Lexed {
                         _ => i += 1,
                     }
                 }
-                push(&mut out, start_line, TokKind::Lit, "\"…\"".into());
+                let contents: String = b[start..i.min(n)].iter().collect();
+                if i < n {
+                    i += 1; // closing quote
+                }
+                push_str(&mut out, start_line, contents);
             }
             'r' if i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '#') => {
                 // Raw string r"..." / r#"..."# (any hash count).
@@ -152,6 +172,8 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 if j < n && b[j] == '"' {
                     j += 1;
+                    let start = j;
+                    let mut end = j;
                     'raw: while j < n {
                         if b[j] == '\n' {
                             line += 1;
@@ -161,14 +183,17 @@ pub fn lex(src: &str) -> Lexed {
                                 k += 1;
                             }
                             if k == hashes {
+                                end = j;
                                 j += 1 + hashes;
                                 break 'raw;
                             }
                         }
                         j += 1;
+                        end = j;
                     }
                     i = j;
-                    push(&mut out, start_line, TokKind::Lit, "\"…\"".into());
+                    let contents: String = b[start..end.min(n)].iter().collect();
+                    push_str(&mut out, start_line, contents);
                 } else {
                     // `r#ident` raw identifier or plain `r`.
                     let start = i;
@@ -279,6 +304,15 @@ pub struct FnItem {
     pub body: std::ops::Range<usize>,
     /// Whether this item is (transitively) inside a `#[cfg(test)]` module.
     pub in_test_mod: bool,
+    /// The `Self` type name if this fn sits inside an `impl` block
+    /// (`impl Foo { … }` or `impl Trait for Foo { … }` → `Foo`).
+    pub self_ty: Option<String>,
+    /// Does the signature take `self` (method rather than associated fn)?
+    pub has_self: bool,
+    /// Parameter binding names, in order, `self` excluded. Complex
+    /// patterns record the identifier immediately left of the `:`, which
+    /// is the binding for the `name: Type` common case.
+    pub params: Vec<String>,
 }
 
 /// Parsed view of one source file.
@@ -293,6 +327,10 @@ pub struct ParsedFile {
     /// Function items (all nesting depths, including inside impls and
     /// test modules).
     pub fns: Vec<FnItem>,
+    /// Import aliases: local name → full path, from `use` declarations.
+    /// `use a::b::c` maps `c → a::b::c`; `use a::b as x` maps `x → a::b`;
+    /// groups and `self` items are expanded. Globs contribute nothing.
+    pub aliases: std::collections::BTreeMap<String, String>,
 }
 
 impl ParsedFile {
@@ -336,8 +374,10 @@ pub fn parse(src: &str) -> ParsedFile {
     let comments = merged;
     let mut uses = Vec::new();
     let mut fns = Vec::new();
+    let mut aliases = std::collections::BTreeMap::new();
 
-    // Pass 1: use declarations.
+    // Pass 1: use declarations (flattened path text, plus the structured
+    // alias map for call resolution).
     let mut i = 0;
     while i < toks.len() {
         if toks[i].kind == TokKind::Ident && toks[i].is("use") {
@@ -348,19 +388,25 @@ pub fn parse(src: &str) -> ParsedFile {
                 path.push_str(&toks[j].text);
                 j += 1;
             }
+            collect_use_aliases(&toks[i + 1..j], "", &mut aliases);
             uses.push(UseDecl { line, path });
             i = j;
         }
         i += 1;
     }
 
-    // Pass 2: attributes + fn items + test-module tracking.
+    // Pass 2: attributes + fn items + test-module and impl-block
+    // tracking.
     //
     // `mod_stack` holds brace depths of `#[cfg(test)] mod` bodies we are
-    // inside; `depth` counts `{` nesting.
+    // inside; `depth` counts `{` nesting. `impl_spans` records each impl
+    // block's body token range and `Self` type name, so fns can be
+    // assigned their `self_ty` after the scan.
     let mut pending_attrs: Vec<Attr> = Vec::new();
     let mut pending_cfg_test = false;
     let mut test_mod_depths: Vec<usize> = Vec::new();
+    let mut impl_spans: Vec<(std::ops::Range<usize>, String)> = Vec::new();
+    let mut fn_tok_idx: Vec<usize> = Vec::new();
     let mut depth: usize = 0;
     let mut i = 0;
     while i < toks.len() {
@@ -403,14 +449,32 @@ pub fn parse(src: &str) -> ParsedFile {
                 let name = toks[i + 1].text.clone();
                 let line = t.line;
                 // Find the body `{` at angle/paren depth 0, stopping
-                // at `;` (bodyless decl).
+                // at `;` (bodyless decl). Along the way, scan the
+                // signature parens for `self` and parameter bindings
+                // (the ident immediately left of a `:` at paren depth 1).
                 let mut j = i + 2;
                 let mut paren = 0i32;
                 let mut body = 0..0;
+                let mut has_self = false;
+                let mut params = Vec::new();
+                let mut in_sig = true;
                 while j < toks.len() {
                     match toks[j].text.as_str() {
                         "(" | "[" => paren += 1,
-                        ")" | "]" => paren -= 1,
+                        ")" | "]" => {
+                            paren -= 1;
+                            if paren == 0 {
+                                in_sig = false;
+                            }
+                        }
+                        "self" if in_sig && paren == 1 => has_self = true,
+                        ":" if in_sig && paren == 1 => {
+                            if let Some(prev) = toks.get(j - 1) {
+                                if prev.kind == TokKind::Ident && !prev.is("self") {
+                                    params.push(prev.text.clone());
+                                }
+                            }
+                        }
                         ";" if paren == 0 => break,
                         "{" if paren == 0 => {
                             // Matching close brace.
@@ -432,17 +496,69 @@ pub fn parse(src: &str) -> ParsedFile {
                     }
                     j += 1;
                 }
+                fn_tok_idx.push(i);
                 fns.push(FnItem {
                     name,
                     line,
                     attrs: std::mem::take(&mut pending_attrs),
                     body,
                     in_test_mod: !test_mod_depths.is_empty() || pending_cfg_test,
+                    self_ty: None,
+                    has_self,
+                    params,
                 });
                 pending_cfg_test = false;
                 // Do NOT skip the body: nested fns are items too.
                 i += 1;
                 continue;
+            }
+            // An impl block header. The whitelist on the previous token
+            // excludes `impl Trait` in type position (`-> impl Fn()`,
+            // `x: impl Into<…>`), which is always preceded by `>`/`(`/
+            // `,`/`:`/`&`/`=` rather than an item boundary.
+            "impl"
+                if i == 0
+                    || matches!(toks[i - 1].text.as_str(), "}" | "{" | ";" | "]" | "unsafe") =>
+            {
+                // Self type: last path ident at angle depth 0 before the
+                // body `{`; `for` (trait impls) and `where` reset/stop
+                // the collection.
+                let mut j = i + 1;
+                let mut angle = 0i32;
+                let mut self_ty = String::new();
+                let mut stop_collect = false;
+                while j < toks.len() && !toks[j].is("{") && !toks[j].is(";") {
+                    match toks[j].text.as_str() {
+                        "<" => angle += 1,
+                        ">" => angle -= 1,
+                        "for" if angle == 0 => self_ty.clear(),
+                        "where" if angle == 0 => stop_collect = true,
+                        _ if angle == 0
+                            && !stop_collect
+                            && toks[j].kind == TokKind::Ident =>
+                        {
+                            self_ty = toks[j].text.clone();
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if j < toks.len() && toks[j].is("{") && !self_ty.is_empty() {
+                    let start = j + 1;
+                    let mut d = 1usize;
+                    let mut k = start;
+                    while k < toks.len() && d > 0 {
+                        match toks[k].text.as_str() {
+                            "{" => d += 1,
+                            "}" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    impl_spans.push((start..k.saturating_sub(1), self_ty));
+                }
+                // Do not skip: fns inside the impl are scanned normally.
+                pending_attrs.clear();
             }
             "mod" => {
                 if pending_cfg_test {
@@ -479,11 +595,96 @@ pub fn parse(src: &str) -> ParsedFile {
         i += 1;
     }
 
+    // Assign each fn its innermost enclosing impl's `Self` type.
+    for (f, &at) in fns.iter_mut().zip(&fn_tok_idx) {
+        f.self_ty = impl_spans
+            .iter()
+            .filter(|(span, _)| span.contains(&at))
+            .min_by_key(|(span, _)| span.len())
+            .map(|(_, ty)| ty.clone());
+    }
+
     ParsedFile {
         toks,
         comments,
         uses,
         fns,
+        aliases,
+    }
+}
+
+/// Expand one `use` tree (the tokens between `use` and `;`) into the
+/// alias map. Handles plain paths, `as` renames, nested `{…}` groups,
+/// and `self` group items; `*` globs are skipped.
+fn collect_use_aliases(
+    toks: &[Tok],
+    prefix: &str,
+    out: &mut std::collections::BTreeMap<String, String>,
+) {
+    // Leading segments up to a group/rename/end.
+    let mut path = prefix.to_string();
+    let mut last_seg = String::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is("{") {
+            // Group: split the balanced region on top-level commas and
+            // recurse with the accumulated prefix.
+            let mut d = 1usize;
+            let mut j = i + 1;
+            let mut item_start = j;
+            while j < toks.len() && d > 0 {
+                match toks[j].text.as_str() {
+                    "{" => d += 1,
+                    "}" => d -= 1,
+                    "," if d == 1 => {
+                        collect_use_aliases(&toks[item_start..j], &path, out);
+                        item_start = j + 1;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let item_end = j.saturating_sub(1).max(item_start);
+            collect_use_aliases(&toks[item_start..item_end], &path, out);
+            return;
+        }
+        if t.is("as") {
+            // `path as rename`.
+            if let Some(rename) = toks.get(i + 1) {
+                if !path.is_empty() {
+                    out.insert(rename.text.clone(), path);
+                }
+            }
+            return;
+        }
+        if t.is("*") {
+            return; // glob: contributes no aliases
+        }
+        if t.kind == TokKind::Ident {
+            if t.is("self") {
+                // `{self, …}` item: the prefix's own last segment.
+                if let Some(seg) = prefix.rsplit("::").next() {
+                    if !seg.is_empty() {
+                        out.insert(seg.to_string(), prefix.to_string());
+                    }
+                }
+                return;
+            }
+            if t.is("pub") {
+                i += 1;
+                continue; // `pub use` re-export
+            }
+            last_seg = t.text.clone();
+            if !path.is_empty() {
+                path.push_str("::");
+            }
+            path.push_str(&t.text);
+        }
+        i += 1;
+    }
+    if !last_seg.is_empty() {
+        out.insert(last_seg, path);
     }
 }
 
@@ -559,6 +760,77 @@ mod tests {
         let p = parse(src);
         assert!(p.comment_near(3, 2, "SAFETY:"));
         assert!(!p.comment_near(1, 0, "SAFETY:"));
+    }
+
+    #[test]
+    fn impl_blocks_give_fns_a_self_ty() {
+        let src = r#"
+impl Wheel {
+    fn push(&mut self, t: u64) {}
+    fn capacity(hint: usize) -> usize { hint }
+}
+impl Iterator for Drain<'_> {
+    fn next(&mut self) -> Option<u64> { None }
+}
+fn free(x: u64) -> impl Fn() -> u64 {
+    move || x
+}
+"#;
+        let p = parse(src);
+        let push = p.fns.iter().find(|f| f.name == "push").unwrap();
+        assert_eq!(push.self_ty.as_deref(), Some("Wheel"));
+        assert!(push.has_self);
+        assert_eq!(push.params, vec!["t"]);
+        let cap = p.fns.iter().find(|f| f.name == "capacity").unwrap();
+        assert_eq!(cap.self_ty.as_deref(), Some("Wheel"));
+        assert!(!cap.has_self);
+        assert_eq!(cap.params, vec!["hint"]);
+        let next = p.fns.iter().find(|f| f.name == "next").unwrap();
+        assert_eq!(next.self_ty.as_deref(), Some("Drain"));
+        let free = p.fns.iter().find(|f| f.name == "free").unwrap();
+        assert_eq!(free.self_ty, None);
+        assert_eq!(free.params, vec!["x"]);
+    }
+
+    #[test]
+    fn use_aliases_cover_renames_and_groups() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering as O};\n\
+                   use core::cell::UnsafeCell as RawCell;\n\
+                   use atos_queue::stats::{self, global_snapshot};\n\
+                   use atos_core::prelude::*;\n";
+        let p = parse(src);
+        assert_eq!(
+            p.aliases.get("AtomicU64").map(String::as_str),
+            Some("std::sync::atomic::AtomicU64")
+        );
+        assert_eq!(
+            p.aliases.get("O").map(String::as_str),
+            Some("std::sync::atomic::Ordering")
+        );
+        assert_eq!(
+            p.aliases.get("RawCell").map(String::as_str),
+            Some("core::cell::UnsafeCell")
+        );
+        assert_eq!(
+            p.aliases.get("stats").map(String::as_str),
+            Some("atos_queue::stats")
+        );
+        assert_eq!(
+            p.aliases.get("global_snapshot").map(String::as_str),
+            Some("atos_queue::stats::global_snapshot")
+        );
+        assert!(!p.aliases.keys().any(|k| k == "*"));
+    }
+
+    #[test]
+    fn string_literal_contents_are_captured() {
+        let p = parse(r##"fn f() { reg.set("queue.cas_retries", v); let _r = r#"raw"#; }"##);
+        let lits: Vec<&str> = p
+            .toks
+            .iter()
+            .filter_map(|t| t.str_lit.as_deref())
+            .collect();
+        assert_eq!(lits, vec!["queue.cas_retries", "raw"]);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub fn json(findings: &[Finding]) -> String {
 }
 
 /// JSON string escaping.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

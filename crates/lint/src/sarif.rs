@@ -1,0 +1,82 @@
+//! SARIF 2.1.0 emission.
+//!
+//! Hand-rolled (no serde in the offline workspace) and deliberately
+//! *deterministic*: no timestamps, no absolute paths, no environment —
+//! the same findings always serialize to the same bytes, so CI can diff
+//! SARIF artifacts and the content-hash cache can replay them verbatim.
+//! The schema subset emitted (driver rules, results with `ruleId` /
+//! `ruleIndex` / `level` / `message.text` / one physical location each)
+//! is what code-scanning UIs actually consume.
+
+use crate::lints::RULES;
+use crate::report::escape;
+use crate::Finding;
+
+/// Serialize findings as a single-run SARIF 2.1.0 log.
+pub fn sarif(findings: &[Finding]) -> String {
+    let mut out = String::with_capacity(1024 + findings.len() * 256);
+    out.push_str("{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\"");
+    out.push_str(",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+    out.push_str("\"name\":\"atos-lint\",\"rules\":[");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"defaultConfiguration\":{{\"level\":\"error\"}}}}",
+            escape(r)
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rule_index = RULES
+            .iter()
+            .position(|r| *r == f.rule)
+            .map(|p| p as i64)
+            .unwrap_or(-1);
+        out.push_str(&format!(
+            "{{\"ruleId\":{},\"ruleIndex\":{rule_index},\"level\":\"error\",\
+             \"message\":{{\"text\":{}}},\"locations\":[{{\"physicalLocation\":\
+             {{\"artifactLocation\":{{\"uri\":{}}},\"region\":{{\"startLine\":{}}}\
+             }}}}]}}",
+            escape(f.rule),
+            escape(&f.message),
+            escape(&f.file),
+            f.line
+        ));
+    }
+    out.push_str("]}]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_is_deterministic_and_indexes_rules() {
+        let f = vec![Finding {
+            rule: "hot-path-alloc",
+            file: "crates/x/src/a.rs".into(),
+            line: 7,
+            message: "allocating `vec!`".into(),
+        }];
+        let a = sarif(&f);
+        let b = sarif(&f);
+        assert_eq!(a, b);
+        assert!(a.contains("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(a.contains("\"ruleId\":\"hot-path-alloc\""));
+        assert!(a.contains(&format!(
+            "\"ruleIndex\":{}",
+            RULES.iter().position(|r| *r == "hot-path-alloc").unwrap()
+        )));
+        assert!(a.contains("\"startLine\":7"));
+        // Every rule id appears in the driver rules array.
+        for r in RULES {
+            assert!(a.contains(&format!("\"id\":\"{r}\"")));
+        }
+    }
+}

@@ -69,6 +69,94 @@ fn findings_exit_1_with_stable_json() {
 }
 
 #[test]
+fn sarif_emit_is_valid_and_deterministic() {
+    let lint_dir = workspace_root().join("crates/lint");
+    let out = run(
+        &lint_dir,
+        &["tests/fixtures/facade_bypass.rs", "--emit", "sarif"],
+    );
+    assert_eq!(out.status.code(), Some(1), "findings still gate the exit code");
+    let sarif = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(sarif.contains("\"version\":\"2.1.0\""), "sarif: {sarif}");
+    assert!(sarif.contains("sarif-2.1.0.json"));
+    assert!(sarif.contains("\"ruleId\":\"facade-bypass\""));
+    assert!(sarif.contains("\"uri\":\"tests/fixtures/facade_bypass.rs\""));
+
+    let again = run(
+        &lint_dir,
+        &["tests/fixtures/facade_bypass.rs", "--emit", "sarif"],
+    );
+    assert_eq!(sarif.as_bytes(), &again.stdout[..], "SARIF must be deterministic");
+}
+
+#[test]
+fn cache_second_run_hits_and_is_byte_identical() {
+    let root = workspace_root();
+    let cache = std::env::temp_dir().join(format!(
+        "atos-lint-cache-test-{}",
+        std::process::id()
+    ));
+    let cache_s = cache.to_str().unwrap();
+
+    let cold = run(&root, &["--workspace", "--json", "--cache", cache_s]);
+    assert_eq!(cold.status.code(), Some(0));
+    assert!(
+        String::from_utf8_lossy(&cold.stderr).contains("cache miss"),
+        "first run must miss: {}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    assert!(cache.exists(), "cache file written");
+
+    let warm = run(&root, &["--workspace", "--json", "--cache", cache_s]);
+    assert_eq!(warm.status.code(), Some(0));
+    assert!(
+        String::from_utf8_lossy(&warm.stderr).contains("cache hit"),
+        "second run must hit: {}",
+        String::from_utf8_lossy(&warm.stderr)
+    );
+    assert_eq!(
+        cold.stdout, warm.stdout,
+        "cached replay must be byte-identical to the cold run"
+    );
+
+    let _ = std::fs::remove_file(&cache);
+}
+
+/// The committed wall-clock key inventory must be exactly what the
+/// analyzer regenerates from the current tree — trace_golden.rs reads
+/// the committed artifact, so drift here would silently de-sync the
+/// determinism test from the taint analysis.
+#[test]
+fn wall_clock_inventory_regen_is_noop() {
+    let root = workspace_root();
+    let committed = root.join("results/wall_clock_keys.txt");
+    let fresh = std::env::temp_dir().join(format!(
+        "atos-lint-inventory-test-{}",
+        std::process::id()
+    ));
+
+    let out = run(
+        &root,
+        &[
+            "--workspace",
+            "--wall-clock-inventory",
+            fresh.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0));
+    let want = std::fs::read_to_string(&committed).expect("committed inventory");
+    let got = std::fs::read_to_string(&fresh).expect("regenerated inventory");
+    assert_eq!(
+        want, got,
+        "results/wall_clock_keys.txt is stale; regenerate with\n  \
+         cargo run -q -p atos-lint -- --workspace --wall-clock-inventory \
+         results/wall_clock_keys.txt"
+    );
+
+    let _ = std::fs::remove_file(&fresh);
+}
+
+#[test]
 fn baseline_round_trip_tolerates_then_gates() {
     let lint_dir = workspace_root().join("crates/lint");
     let base = std::env::temp_dir().join(format!(

@@ -1,0 +1,18 @@
+//! Regression fixture for `use`-alias call resolution: the allocating
+//! helper is imported under a different name, so a purely name-keyed
+//! resolver would miss the edge and the transitive hot-path-alloc
+//! finding with it.
+
+mod helpers {
+    pub fn grow(v: &mut Vec<u64>) {
+        let mut extra = vec![0u64; 16];
+        v.append(&mut extra);
+    }
+}
+
+use helpers::grow as quietly_grow;
+
+#[atos_hot]
+fn hot_entry(v: &mut Vec<u64>) {
+    quietly_grow(v);
+}

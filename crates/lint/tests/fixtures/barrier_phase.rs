@@ -1,0 +1,43 @@
+//! Bad fixture for `barrier-phase`: window loops that break the
+//! publish -> barrier.wait -> drain -> barrier.wait -> run_window order.
+
+struct Board;
+impl Board {
+    fn publish(&self, _row: u64) {}
+    fn drain(&self) -> u64 {
+        0
+    }
+}
+
+struct Barrier;
+impl Barrier {
+    fn wait(&self) {}
+}
+
+fn run_window(_horizon: u64) {}
+
+/// Publish lands after the first wait: invisible to this window's drains.
+fn window_loop(board: &Board, barrier: &Barrier) {
+    barrier.wait();
+    board.publish(1);
+    let horizon = board.drain();
+    barrier.wait();
+    run_window(horizon);
+}
+
+/// No drain between the waits: the horizon never sees peer rows.
+fn window_loop_skips_drain(board: &Board, barrier: &Barrier) {
+    board.publish(1);
+    barrier.wait();
+    barrier.wait();
+    run_window(0);
+}
+
+/// The correct phase order: no finding.
+fn window_loop_ok(board: &Board, barrier: &Barrier) {
+    board.publish(1);
+    barrier.wait();
+    let horizon = board.drain();
+    barrier.wait();
+    run_window(horizon);
+}

@@ -1,0 +1,32 @@
+//! Bad fixture for `determinism-taint`: wall-clock-derived values flow
+//! into trace events, both directly and through a helper's return value.
+
+use std::time::Instant;
+
+struct Tracer;
+impl Tracer {
+    fn span(&self, _track: u32, _start: u64, _dur: u64) {}
+    fn counter(&self, _track: u32, _at: u64, _v: u64) {}
+}
+
+/// Return value observes the wall clock (ret-taint propagation).
+fn wall_sample() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+fn bad_span(tracer: &Tracer) {
+    let t0 = Instant::now();
+    let wait_ns = t0.elapsed().as_nanos() as u64;
+    tracer.span(0, 0, wait_ns);
+}
+
+fn bad_instant_via_helper(tracer: &Tracer) {
+    let sample = wall_sample();
+    tracer.counter(0, 0, sample);
+}
+
+/// Virtual time only: no finding.
+fn ok_virtual(tracer: &Tracer, now: u64) {
+    tracer.span(0, now, 1);
+}

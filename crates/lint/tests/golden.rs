@@ -34,6 +34,8 @@ fn rule_set_is_stable() {
             "panic-in-kernel",
             "sim-determinism",
             "missing-safety",
+            "determinism-taint",
+            "barrier-phase",
         ]
     );
 }
@@ -172,6 +174,51 @@ fn missing_safety_golden() {
     );
 }
 
+#[test]
+fn determinism_taint_golden() {
+    assert_eq!(
+        report::json(&lint_fixture("determinism_taint.rs")),
+        "{\"findings\":[\
+         {\"rule\":\"determinism-taint\",\"file\":\"fixtures/determinism_taint.rs\",\
+         \"line\":21,\"message\":\"wall-clock-derived value (`wait_ns`) flows into \
+         trace event `.span(..)`; traces are golden-compared and must carry virtual \
+         time only\"},\
+         {\"rule\":\"determinism-taint\",\"file\":\"fixtures/determinism_taint.rs\",\
+         \"line\":26,\"message\":\"wall-clock-derived value (`sample`) flows into \
+         trace event `.counter(..)`; traces are golden-compared and must carry \
+         virtual time only\"}],\"count\":2}"
+    );
+}
+
+#[test]
+fn barrier_phase_golden() {
+    assert_eq!(
+        report::json(&lint_fixture("barrier_phase.rs")),
+        "{\"findings\":[\
+         {\"rule\":\"barrier-phase\",\"file\":\"fixtures/barrier_phase.rs\",\"line\":22,\
+         \"message\":\"publish after the first barrier wait: the row is invisible to \
+         this window's drains (in window loop `window_loop`)\"},\
+         {\"rule\":\"barrier-phase\",\"file\":\"fixtures/barrier_phase.rs\",\"line\":29,\
+         \"message\":\"window loop `window_loop_skips_drain` misses: drain (expected \
+         publish -> barrier.wait -> drain -> barrier.wait -> run_window)\"}],\
+         \"count\":2}"
+    );
+}
+
+/// `use helpers::grow as quietly_grow;` must still resolve the call edge
+/// to the allocating definition (alias regression for the call graph).
+#[test]
+fn alias_resolution_golden() {
+    assert_eq!(
+        report::json(&lint_fixture("alias_resolution.rs")),
+        "{\"findings\":[\
+         {\"rule\":\"hot-path-alloc\",\"file\":\"fixtures/alias_resolution.rs\",\"line\":17,\
+         \"message\":\"hot-path fn `hot_entry` calls `grow` \
+         (fixtures/alias_resolution.rs:7), which allocates (`vec!` at line 8)\"}],\
+         \"count\":1}"
+    );
+}
+
 // ------------------------------------------------------------ suppression
 
 #[test]
@@ -265,5 +312,80 @@ fn mutation_alloc_in_hot_fn_is_caught() {
             .iter()
             .any(|f| f.rule == "hot-path-alloc" && f.message.contains("injected_hot")),
         "mutation not caught: {findings:?}"
+    );
+}
+
+/// Seeded mutation: an allocation three calls deep under an `#[atos_hot]`
+/// entry point must be caught *transitively*, with the provenance chain
+/// in the message.
+#[test]
+fn mutation_transitive_alloc_chain_is_caught() {
+    let rel = "crates/core/src/runtime.rs";
+    let clean = read_real(rel);
+    let mutated = format!(
+        "{clean}\n\
+         #[atos_hot]\n\
+         fn injected_hot() {{ inj_mid(); }}\n\
+         fn inj_mid() {{ inj_leaf(); }}\n\
+         fn inj_leaf() {{ let _ = format!(\"boom\"); }}\n"
+    );
+    let ws = Workspace::from_sources(vec![(rel.into(), mutated)]);
+    let findings = atos_lint::run(&ws, &Config::project());
+    assert!(
+        findings.iter().any(|f| {
+            f.rule == "hot-path-alloc"
+                && f.message.contains("injected_hot")
+                && f.message.contains("allocates transitively via")
+                && f.message.contains("`inj_leaf`")
+        }),
+        "transitive mutation not caught: {findings:?}"
+    );
+}
+
+/// Seeded mutation: deleting `shard_worker`'s publish call must trip the
+/// `barrier-phase` protocol check on the real runtime source.
+#[test]
+fn mutation_missing_publish_is_caught() {
+    let rel = "crates/core/src/runtime.rs";
+    let clean = read_real(rel);
+    let publish_line = "board.publish(s, dst_shard, row);";
+    assert!(
+        clean.contains(publish_line),
+        "runtime.rs publish call moved; update this mutation"
+    );
+    let mutated = clean.replacen(publish_line, "", 1);
+    let ws = Workspace::from_sources(vec![(rel.into(), mutated)]);
+    let findings = atos_lint::run(&ws, &Config::project());
+    assert!(
+        findings.iter().any(|f| {
+            f.rule == "barrier-phase"
+                && f.message.contains("`shard_worker`")
+                && f.message.contains("publish")
+        }),
+        "publish-removal mutation not caught: {findings:?}"
+    );
+}
+
+/// Seeded mutation: a wall-clock read flowing into a trace event in the
+/// runtime must be caught by `determinism-taint`.
+#[test]
+fn mutation_wall_clock_in_trace_is_caught() {
+    let rel = "crates/core/src/runtime.rs";
+    let clean = read_real(rel);
+    let mutated = format!(
+        "{clean}\n\
+         fn injected_trace(tracer: &atos_trace::Tracer) {{\n\
+             let t0 = std::time::Instant::now();\n\
+             let wall = t0.elapsed().as_nanos() as u64;\n\
+             tracer.counter(atos_trace::Track::pe(0), 0, \"wall\", wall);\n\
+         }}\n"
+    );
+    let ws = Workspace::from_sources(vec![(rel.into(), mutated)]);
+    let findings = atos_lint::run(&ws, &Config::project());
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "determinism-taint" && f.message.contains("`wall`")),
+        "trace-taint mutation not caught: {findings:?}"
     );
 }

@@ -15,6 +15,12 @@
 //!   item, e.g. `#[allow_atos_lint(panic_in_kernel)]`. Suppressions are
 //!   part of the reviewed source, so every exemption is visible in diffs;
 //!   policy (when a suppression is acceptable) lives in DESIGN.md §7.
+//! * [`macro@atos_alloc_ok`] vets one function as allocation-acceptable
+//!   when reached *transitively* from a hot path: the interprocedural
+//!   `hot-path-alloc` propagation stops at the annotated definition
+//!   instead of reporting every hot caller. Use it for setup-phase
+//!   helpers (arena growth, one-time table builds) whose allocations are
+//!   amortized by design and covered by `alloc_count.rs` scenarios.
 //!
 //! [`atos-lint`]: ../atos_lint/index.html
 
@@ -32,5 +38,13 @@ pub fn atos_hot(_attr: TokenStream, item: TokenStream) -> TokenStream {
 /// Inert; read back from the source by `atos-lint`.
 #[proc_macro_attribute]
 pub fn allow_atos_lint(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}
+
+/// Vet this function's allocations as acceptable on hot paths that reach
+/// it transitively (amortized setup work). Inert; read back from the
+/// source by `atos-lint`'s interprocedural `hot-path-alloc` propagation.
+#[proc_macro_attribute]
+pub fn atos_alloc_ok(_attr: TokenStream, item: TokenStream) -> TokenStream {
     item
 }

@@ -145,8 +145,58 @@ echo "$report" | grep -q "imbalance" || {
 echo "ok: atos-profile bottleneck report ($(echo "$report" | wc -l) lines)"
 
 echo
-echo "== workspace static analysis (atos-lint, baseline-gated) =="
-cargo run -q -p atos-lint -- --workspace --deny-new
+echo "== workspace static analysis (atos-lint, baseline-gated, SARIF) =="
+# Interprocedural pass over the whole workspace: transitive alloc/panic
+# propagation, determinism-taint, barrier-phase. Gate on new findings and
+# validate the SARIF 2.1.0 stream structurally.
+lint_t0="$(date +%s%N)"
+cargo run -q -p atos-lint -- --workspace --deny-new --emit sarif \
+    --cache "$tmp/lint.cache" > "$tmp/lint.sarif"
+lint_t1="$(date +%s%N)"
+echo "ok: atos-lint --workspace --deny-new clean in $(( (lint_t1 - lint_t0) / 1000000 )) ms (cold)"
+python3 - "$tmp/lint.sarif" <<'EOF'
+import json, sys
+sarif = json.load(open(sys.argv[1]))
+assert sarif["version"] == "2.1.0", f"bad SARIF version: {sarif.get('version')}"
+assert sarif["$schema"].endswith("sarif-2.1.0.json"), "bad $schema"
+runs = sarif["runs"]
+assert len(runs) == 1, "expected exactly one run"
+driver = runs[0]["tool"]["driver"]
+assert driver["name"] == "atos-lint"
+rule_ids = [r["id"] for r in driver["rules"]]
+for rule in ("hot-path-alloc", "determinism-taint", "barrier-phase"):
+    assert rule in rule_ids, f"driver.rules missing {rule}"
+for res in runs[0].get("results", []):
+    assert res["ruleId"] in rule_ids, f"result with unknown ruleId {res['ruleId']}"
+    loc = res["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"], "result missing file uri"
+    assert loc["region"]["startLine"] >= 1, "result missing line"
+print(f"ok: SARIF valid ({len(rule_ids)} rules, {len(runs[0].get('results', []))} results)")
+EOF
+# The content-hash cache must make a second run a pure replay,
+# byte-identical on stdout.
+cargo run -q -p atos-lint -- --workspace --deny-new --emit sarif \
+    --cache "$tmp/lint.cache" > "$tmp/lint2.sarif" 2> "$tmp/lint2.stderr"
+grep -q "cache hit" "$tmp/lint2.stderr" || {
+    echo "FAIL: second lint run did not hit the cache" >&2
+    cat "$tmp/lint2.stderr" >&2
+    exit 1
+}
+cmp -s "$tmp/lint.sarif" "$tmp/lint2.sarif" || {
+    echo "FAIL: cached lint replay not byte-identical" >&2
+    exit 1
+}
+echo "ok: lint cache hit, replay byte-identical"
+# The committed wall-clock key inventory (consumed by
+# crates/bench/tests/trace_golden.rs) must match a fresh regeneration.
+cargo run -q -p atos-lint -- --workspace \
+    --wall-clock-inventory "$tmp/wall_clock_keys.txt" > /dev/null
+cmp -s results/wall_clock_keys.txt "$tmp/wall_clock_keys.txt" || {
+    echo "FAIL: results/wall_clock_keys.txt is stale; regenerate with" >&2
+    echo "  cargo run -q -p atos-lint -- --workspace --wall-clock-inventory results/wall_clock_keys.txt" >&2
+    exit 1
+}
+echo "ok: wall-clock key inventory regen is a no-op"
 
 echo
 echo "== miri smoke (atos-queue unit tests) =="
