@@ -27,9 +27,10 @@
 use std::sync::Arc;
 
 use atos_core::{
-    Application, AtosConfig, Emitter, NullTracer, RunStats, Runtime, RuntimeTuning, ShardProfile,
-    ShardableApp, Tracer,
+    assert_owner, Application, AtosConfig, Emitter, NullTracer, RunStats, Runtime, RuntimeTuning,
+    ShardProfile, ShardableApp, Tracer,
 };
+use atos_macros::atos_shard;
 use atos_graph::csr::{Csr, VertexId};
 use atos_graph::partition::Partition;
 use atos_graph::reference::UNREACHED;
@@ -109,7 +110,7 @@ impl Application for BfsApp {
     }
 
     fn on_receive(&mut self, pe: usize, (w, nd): Self::Task) -> Option<Self::Task> {
-        debug_assert_eq!(self.partition.owner(w), pe);
+        assert_owner!(self.partition, w, pe);
         // The one-sided atomicMin lands here, at the owner's memory: apply
         // it and enqueue the vertex only if it improved (a non-improving
         // arrival was superseded by an earlier, better update whose own
@@ -136,6 +137,7 @@ impl Application for BfsApp {
 }
 
 impl ShardableApp for BfsApp {
+    #[atos_shard(owner(depth), private(mirror), shared(graph, partition, source))]
     fn fork(&self, _lo: usize, _hi: usize) -> Self {
         BfsApp {
             graph: self.graph.clone(),

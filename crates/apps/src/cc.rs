@@ -10,7 +10,8 @@
 
 use std::sync::Arc;
 
-use atos_core::{Application, AtosConfig, Emitter, RunStats, Runtime, ShardableApp};
+use atos_core::{assert_owner, Application, AtosConfig, Emitter, RunStats, Runtime, ShardableApp};
+use atos_macros::atos_shard;
 use atos_graph::csr::{Csr, VertexId};
 use atos_graph::partition::Partition;
 use atos_sim::Fabric;
@@ -75,7 +76,7 @@ impl Application for CcApp {
     }
 
     fn on_receive(&mut self, pe: usize, (w, l): Self::Task) -> Option<Self::Task> {
-        debug_assert_eq!(self.partition.owner(w), pe);
+        assert_owner!(self.partition, w, pe);
         if l < self.label[w as usize] {
             self.label[w as usize] = l;
             Some((w, l))
@@ -100,6 +101,7 @@ impl Application for CcApp {
 }
 
 impl ShardableApp for CcApp {
+    #[atos_shard(owner(label), private(mirror), shared(graph, partition))]
     fn fork(&self, _lo: usize, _hi: usize) -> Self {
         CcApp {
             graph: self.graph.clone(),

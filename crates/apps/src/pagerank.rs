@@ -20,7 +20,8 @@
 
 use std::sync::Arc;
 
-use atos_core::{Application, AtosConfig, Emitter, RunStats, Runtime, ShardableApp};
+use atos_core::{assert_owner, Application, AtosConfig, Emitter, RunStats, Runtime, ShardableApp};
+use atos_macros::atos_shard;
 use atos_graph::csr::{Csr, VertexId};
 use atos_graph::partition::Partition;
 use atos_sim::Fabric;
@@ -108,7 +109,7 @@ impl Application for PageRankApp {
     fn on_receive(&mut self, pe: usize, task: PrTask) -> Option<PrTask> {
         match task {
             PrTask::Contrib(w, c) => {
-                debug_assert_eq!(self.partition.owner(w), pe);
+                assert_owner!(self.partition, w, pe);
                 let res = &mut self.residue[w as usize];
                 *res += c as f64;
                 if *res >= self.epsilon && !self.in_queue[w as usize] {
@@ -143,6 +144,7 @@ impl Application for PageRankApp {
 // contribution travels as a `Contrib` task applied in `on_receive` at the
 // owner. No sender-side mirrors are needed.
 impl ShardableApp for PageRankApp {
+    #[atos_shard(owner(rank, residue, in_queue), shared(graph, partition, alpha, epsilon))]
     fn fork(&self, _lo: usize, _hi: usize) -> Self {
         PageRankApp {
             graph: self.graph.clone(),

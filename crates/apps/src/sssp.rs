@@ -13,7 +13,8 @@
 
 use std::sync::Arc;
 
-use atos_core::{Application, AtosConfig, Emitter, RunStats, Runtime, ShardableApp};
+use atos_core::{assert_owner, Application, AtosConfig, Emitter, RunStats, Runtime, ShardableApp};
+use atos_macros::atos_shard;
 use atos_graph::csr::{Csr, VertexId};
 use atos_graph::partition::Partition;
 use atos_graph::weights::{EdgeWeights, UNREACHED_DIST};
@@ -93,7 +94,7 @@ impl Application for SsspApp {
     }
 
     fn on_receive(&mut self, pe: usize, (w, nd): Self::Task) -> Option<Self::Task> {
-        debug_assert_eq!(self.partition.owner(w), pe);
+        assert_owner!(self.partition, w, pe);
         if nd < self.dist[w as usize] {
             self.dist[w as usize] = nd;
             Some((w, nd))
@@ -116,6 +117,7 @@ impl Application for SsspApp {
 }
 
 impl ShardableApp for SsspApp {
+    #[atos_shard(owner(dist), private(mirror), shared(graph, weights, partition, delta, source))]
     fn fork(&self, _lo: usize, _hi: usize) -> Self {
         SsspApp {
             graph: self.graph.clone(),

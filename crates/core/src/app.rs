@@ -8,6 +8,28 @@
 
 use crate::emitter::Emitter;
 
+/// Owner-computes witness: debug-assert that vertex `$v`'s owner under
+/// `$partition` is the executing PE `$pe`.
+///
+/// This is the canonical guard for authoritative writes in
+/// [`Application::on_receive`]: a task arriving from a remote PE may
+/// only mutate owner-indexed state at indices the receiving PE owns (the
+/// paper's one-sided `atomicMin` lands in the *owner's* memory). The
+/// `shard-escape` lint recognizes this macro — or a raw
+/// `debug_assert_eq!(partition.owner(v), pe)` — as the dominating owner
+/// proof; an unwitnessed write to an `owner(..)`-classified array is a
+/// finding.
+#[macro_export]
+macro_rules! assert_owner {
+    ($partition:expr, $v:expr, $pe:expr) => {
+        debug_assert_eq!(
+            ($partition).owner($v),
+            $pe,
+            "owner-computes violation: vertex not owned by this PE"
+        )
+    };
+}
+
 /// What a PE's idle handler did (the `f2` path).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IdleOutcome {

@@ -1,0 +1,696 @@
+//! `unchecked-guard`: reservation-bound proofs for unsafe slot access.
+//!
+//! The queue protocols deliberately use unchecked slot accessors — a
+//! bounds panic mid-protocol would strand a published reservation for
+//! every other thread (`panic-in-kernel`), so protocol code *proves* its
+//! indices against the reservation discipline instead. Each accessor
+//! (`slot`, `flag`) carries a `# Safety: idx < capacity` contract; this
+//! rule checks that every call site dominates its index with one of the
+//! shapes the protocols actually use:
+//!
+//! * a **reservation guard**: `if idx + n > self.slots.len() { return
+//!   Err(..) }` (or `idx >= cap → return`) before the call — the guard
+//!   must compare against a capacity-like bound (`.len()`, `capacity`,
+//!   or a publication-bounded variable) and diverge
+//!   (`return`/`break`/`continue`);
+//! * an **in-range loop derived from one**: `for i in 0..take` where
+//!   `take` was clamped by a publication index (`end.load(Acquire)`,
+//!   possibly through `.min(..)` / `.saturating_sub(base)` chains) and
+//!   the index is `base + i` for the matching base, or
+//!   `for (i, _) in items.iter().enumerate()` with `n = items.len()`
+//!   paired against a checked `idx + n > cap` guard.
+//!
+//! Facts are tracked per function and flow through **derived
+//! accessors**: a function that merely forwards a parameter to an
+//! unsafe accessor inherits the contract (its callers are checked at
+//! that argument instead), so helper-extracted protocol code still
+//! verifies. Unprovable indices are reported with a chain naming every
+//! forwarding hop down to the root unsafe accessor.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+use crate::config::{Config, UncheckedScope};
+use crate::lints::Analysis;
+use crate::model::{expr_text, first_ident_in, matching, split_top_commas};
+use crate::parse::{FnItem, Tok, TokKind};
+use crate::{Finding, Workspace};
+
+/// How a `for` loop bounds its variable.
+enum LoopKind {
+    /// `for v in lo..BOUND` — `BOUND` as normalized expression text.
+    Range(String),
+    /// `for (v, _) in SRC.iter().enumerate()` — the iterated source.
+    Enumerate(String),
+}
+
+struct ForLoop {
+    var: String,
+    kind: LoopKind,
+    body: Range<usize>,
+}
+
+/// Index-domination facts for one function body. Positions are token
+/// indices: a fact only dominates call sites after it.
+#[derive(Default)]
+struct Facts {
+    /// `(expr, pos)`: `expr <= capacity` holds after token `pos`
+    /// (a diverging `expr > cap`-style guard ended there).
+    guarded: Vec<(String, usize)>,
+    /// `(base, count, pos)`: `base + count <= capacity` holds after
+    /// `pos` — from a guard or a `count = bounded - base` clamp.
+    pairs: Vec<(String, String, usize)>,
+    /// Variables clamped by a publication index (`end.load(Acquire)`,
+    /// `.min(capacity-like)` chains).
+    bounded: BTreeSet<String>,
+    /// `len_of[n] = items` for `let n = items.len()`.
+    len_of: BTreeMap<String, String>,
+    loops: Vec<ForLoop>,
+}
+
+impl Facts {
+    fn default_with_loops(loops: Vec<ForLoop>) -> Self {
+        Facts {
+            loops,
+            ..Facts::default()
+        }
+    }
+}
+
+/// A function whose `# Safety` contract requires an in-bounds index at
+/// one parameter — either a scoped root accessor or a derived forwarder.
+struct Accessor {
+    /// Zero-based position in [`FnItem::params`] (== argument position:
+    /// both exclude `self`).
+    param: usize,
+    /// 1-based decl line (for chain messages).
+    decl_line: u32,
+    /// Hop names from this accessor down to the root unsafe accessor,
+    /// inclusive (`["write_at", "slot"]`; roots hold just their name).
+    chain: Vec<String>,
+}
+
+/// Scan one function body for loops and `let` bindings, then derive the
+/// complete fact set (bounded fixpoint, guards, pairs).
+fn collect_facts(toks: &[Tok], f: &FnItem, scope: &UncheckedScope) -> Facts {
+    let mut loops = Vec::new();
+    let mut defs: Vec<(String, Range<usize>)> = Vec::new();
+
+    let mut i = f.body.start;
+    while i < f.body.end {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && t.is("for") {
+            if let Some(l) = parse_for(toks, i, f.body.end) {
+                loops.push(l);
+            }
+        } else if t.kind == TokKind::Ident && t.is("let") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is("mut")) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.kind == TokKind::Ident)
+                && toks.get(j + 1).is_some_and(|t| t.is("="))
+            {
+                let rhs_start = j + 2;
+                let mut d = 0i32;
+                let mut k = rhs_start;
+                while k < f.body.end {
+                    match toks[k].text.as_str() {
+                        "(" | "[" | "{" => d += 1,
+                        ")" | "]" | "}" => d -= 1,
+                        ";" if d == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                defs.push((toks[j].text.clone(), rhs_start..k));
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    let mut facts = Facts::default_with_loops(loops);
+
+    // Bounded-variable fixpoint: `end.load(Acquire)` seeds, `.min(..)`
+    // over a bounded/capacity-like operand propagates.
+    loop {
+        let mut changed = false;
+        for (name, rhs) in &defs {
+            if facts.bounded.contains(name) {
+                continue;
+            }
+            if rhs_is_bounded(toks, rhs.clone(), scope, &facts.bounded) {
+                facts.bounded.insert(name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for (name, rhs) in &defs {
+        if let Some(src) = len_source(toks, rhs.clone()) {
+            facts.len_of.insert(name.clone(), src);
+        }
+        // `count = BOUNDED.saturating_sub(base)` / `.. BOUNDED - base ..`
+        // clamps: base + count <= BOUNDED <= capacity.
+        for k in rhs.clone() {
+            if toks[k].kind != TokKind::Ident || !facts.bounded.contains(&toks[k].text) {
+                continue;
+            }
+            if toks.get(k + 1).is_some_and(|t| t.is("."))
+                && toks.get(k + 2).is_some_and(|t| t.is("saturating_sub"))
+                && toks.get(k + 3).is_some_and(|t| t.is("("))
+            {
+                if let Some(close) = matching(toks, k + 3, "(", ")") {
+                    facts.pairs.push((
+                        expr_text(toks, k + 4..close),
+                        name.clone(),
+                        rhs.end,
+                    ));
+                }
+            } else if toks.get(k + 1).is_some_and(|t| t.is("-")) {
+                let mut e = k + 2;
+                while e < rhs.end
+                    && (toks[e].kind == TokKind::Ident || toks[e].is(".") || toks[e].is("::"))
+                {
+                    e += 1;
+                }
+                if e > k + 2 {
+                    facts
+                        .pairs
+                        .push((expr_text(toks, k + 2..e), name.clone(), rhs.end));
+                }
+            }
+        }
+    }
+
+    collect_guards(toks, f, &mut facts);
+    facts
+}
+
+/// First token in `range` equal to `stop` at `(`/`[` bracket depth 0 —
+/// the header-delimiter scan `for`/`if` parsing shares.
+fn first_at_depth0(
+    toks: &[Tok],
+    range: std::ops::Range<usize>,
+    stop: &str,
+) -> Option<usize> {
+    let mut d = 0i32;
+    for (j, t) in toks.iter().enumerate().take(range.end).skip(range.start) {
+        match t.text.as_str() {
+            "(" | "[" => d += 1,
+            ")" | "]" => d -= 1,
+            s if s == stop && d == 0 => return Some(j),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parse a `for` header starting at the `for` token.
+fn parse_for(toks: &[Tok], at: usize, end: usize) -> Option<ForLoop> {
+    let open = first_at_depth0(toks, at + 1..end, "{")?;
+    let body_end = matching(toks, open, "{", "}")?;
+    let header = at + 1..open;
+    let var = first_ident_in(toks, header.clone())?.to_string();
+
+    // `.enumerate()` form: bind the loop var to the iterated source.
+    for k in header.clone() {
+        if toks[k].is(".")
+            && toks.get(k + 1).is_some_and(|t| t.is("enumerate"))
+            && toks.get(k + 2).is_some_and(|t| t.is("("))
+        {
+            let src = header.clone().find_map(|m| {
+                (toks[m].kind == TokKind::Ident
+                    && toks.get(m + 1).is_some_and(|t| t.is("."))
+                    && toks.get(m + 2).is_some_and(|t| {
+                        t.is("iter") || t.is("into_iter") || t.is("iter_mut")
+                    }))
+                .then(|| toks[m].text.clone())
+            })?;
+            return Some(ForLoop {
+                var,
+                kind: LoopKind::Enumerate(src),
+                body: open..body_end,
+            });
+        }
+    }
+
+    // Range form: `lo..BOUND` (`..` lexes as two `.` tokens).
+    for k in header.clone() {
+        if toks[k].is(".") && toks.get(k + 1).is_some_and(|t| t.is(".")) {
+            let mut hi = header.end;
+            while hi > k + 2 && toks[hi - 1].is(")") {
+                hi -= 1;
+            }
+            let mut lo = k + 2;
+            if toks.get(lo).is_some_and(|t| t.is("=")) {
+                lo += 1; // `..=` inclusive ranges
+            }
+            if lo < hi {
+                return Some(ForLoop {
+                    var,
+                    kind: LoopKind::Range(expr_text(toks, lo..hi)),
+                    body: open..body_end,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Is this `let` RHS clamped by a publication/capacity bound?
+fn rhs_is_bounded(
+    toks: &[Tok],
+    rhs: Range<usize>,
+    scope: &UncheckedScope,
+    bounded: &BTreeSet<String>,
+) -> bool {
+    for k in rhs.clone() {
+        // `FIELD.load(Ordering::Acquire)` with FIELD a publication index.
+        if toks[k].kind == TokKind::Ident
+            && scope.bounded_fields.contains(&toks[k].text.as_str())
+            && toks.get(k + 1).is_some_and(|t| t.is("."))
+            && toks.get(k + 2).is_some_and(|t| t.is("load"))
+            && toks.get(k + 3).is_some_and(|t| t.is("("))
+            && rhs
+                .clone()
+                .any(|m| toks[m].kind == TokKind::Ident && toks[m].is("Acquire"))
+        {
+            return true;
+        }
+        // `.min(X)` where X is bounded or capacity-like.
+        if toks[k].is(".")
+            && toks.get(k + 1).is_some_and(|t| t.is("min"))
+            && toks.get(k + 2).is_some_and(|t| t.is("("))
+        {
+            if let Some(close) = matching(toks, k + 2, "(", ")") {
+                if is_capish(toks, k + 3..close, bounded) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Does this range mention a capacity-like quantity (`.len()`,
+/// `capacity`, or an already-bounded variable)?
+fn is_capish(toks: &[Tok], range: Range<usize>, bounded: &BTreeSet<String>) -> bool {
+    for k in range {
+        let t = &toks[k];
+        if t.is(".")
+            && toks.get(k + 1).is_some_and(|t| t.is("len"))
+            && toks.get(k + 2).is_some_and(|t| t.is("("))
+        {
+            return true;
+        }
+        if t.kind == TokKind::Ident && (t.is("capacity") || bounded.contains(&t.text)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// `S.len()` receiver in a `let` RHS, for enumerate matching.
+fn len_source(toks: &[Tok], rhs: Range<usize>) -> Option<String> {
+    for k in rhs {
+        if toks[k].kind == TokKind::Ident
+            && toks.get(k + 1).is_some_and(|t| t.is("."))
+            && toks.get(k + 2).is_some_and(|t| t.is("len"))
+            && toks.get(k + 3).is_some_and(|t| t.is("("))
+        {
+            return Some(toks[k].text.clone());
+        }
+    }
+    None
+}
+
+/// Diverging `expr > cap` / `expr >= cap` guards; the guarded facts hold
+/// after the guard block.
+fn collect_guards(toks: &[Tok], f: &FnItem, facts: &mut Facts) {
+    let mut i = f.body.start;
+    while i < f.body.end {
+        if !(toks[i].kind == TokKind::Ident && toks[i].is("if"))
+            || toks.get(i + 1).is_some_and(|t| t.is("let"))
+        {
+            i += 1;
+            continue;
+        }
+        // Condition runs to the first `{` at bracket depth 0.
+        let Some(open) = first_at_depth0(toks, i + 1..f.body.end, "{") else {
+            i += 1;
+            continue;
+        };
+        let Some(block_end) = matching(toks, open, "{", "}") else {
+            i += 1;
+            continue;
+        };
+        // The guard must diverge: otherwise nothing holds after it.
+        let diverges = (open + 1..block_end)
+            .any(|k| toks[k].is("return") || toks[k].is("break") || toks[k].is("continue"));
+        // `>` / `>=` at bracket depth 0 splits LHS index from RHS bound.
+        let gt = first_at_depth0(toks, i + 1..open, ">");
+        if let (true, Some(gt)) = (diverges, gt) {
+            let rhs_start = gt + 1 + usize::from(toks.get(gt + 1).is_some_and(|t| t.is("=")));
+            if is_capish(toks, rhs_start..open, &facts.bounded) {
+                let parts = split_top_plus(toks, i + 1..gt);
+                match parts.as_slice() {
+                    [one] => facts.guarded.push((expr_text(toks, one.clone()), block_end)),
+                    [a, b] => {
+                        let (a, b) = (expr_text(toks, a.clone()), expr_text(toks, b.clone()));
+                        facts.guarded.push((a.clone(), block_end));
+                        facts.guarded.push((b.clone(), block_end));
+                        facts.pairs.push((a.clone(), b.clone(), block_end));
+                        facts.pairs.push((b, a, block_end));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        i = open + 1;
+    }
+}
+
+/// Split a token range at depth-0 `+` operators.
+fn split_top_plus(toks: &[Tok], range: Range<usize>) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    let mut d = 0i32;
+    let mut start = range.start;
+    for i in range.clone() {
+        match toks[i].text.as_str() {
+            "(" | "[" => d += 1,
+            ")" | "]" => d -= 1,
+            "+" if d == 0 => {
+                out.push(start..i);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(start..range.end);
+    out
+}
+
+/// Is index expression `idx` at token position `pos` dominated by a
+/// bound proof?
+fn proven(idx: &str, pos: usize, facts: &Facts) -> bool {
+    if facts.guarded.iter().any(|(g, p)| g == idx && *p < pos) {
+        return true;
+    }
+    match idx.rsplit_once('+') {
+        // `base + i`: an enclosing loop over `i` whose extent pairs with
+        // `base` against capacity.
+        Some((base, var)) => facts
+            .loops
+            .iter()
+            .filter(|l| l.body.contains(&pos) && l.var == var)
+            .any(|l| match &l.kind {
+                LoopKind::Range(bound) => facts
+                    .pairs
+                    .iter()
+                    .any(|(b, c, p)| b == base && c == bound && *p < pos),
+                LoopKind::Enumerate(src) => facts.len_of.iter().any(|(n, s)| {
+                    s == src
+                        && facts
+                            .pairs
+                            .iter()
+                            .any(|(b, c, p)| b == base && c == n && *p < pos)
+                }),
+            }),
+        // Bare loop var: `for i in 0..take` with `take` itself clamped.
+        None => facts
+            .loops
+            .iter()
+            .filter(|l| l.body.contains(&pos) && l.var == idx)
+            .any(|l| match &l.kind {
+                LoopKind::Range(bound) => {
+                    facts.bounded.contains(bound)
+                        || facts.guarded.iter().any(|(g, p)| g == bound && *p < pos)
+                }
+                LoopKind::Enumerate(_) => false,
+            }),
+    }
+}
+
+/// Is this fn declared `unsafe`? Only unsafe fns can carry the contract
+/// forward (a safe fn forwarding an unchecked index is itself the bug).
+fn is_unsafe_fn(toks: &[Tok], f: &FnItem) -> bool {
+    (1..toks.len().saturating_sub(1)).any(|k| {
+        toks[k].is("fn")
+            && toks[k].line == f.line
+            && toks[k + 1].is(&f.name)
+            && toks[k - 1].is("unsafe")
+    })
+}
+
+/// One call to a contract accessor: position, line, and index text.
+struct AccessorCall {
+    callee: String,
+    pos: usize,
+    line: u32,
+    idx: String,
+}
+
+/// All calls to registered accessors in one body (`name(..)` and
+/// `recv.name(..)` — argument positions align since params exclude
+/// `self`). The defining `fn name(` token is not a call.
+fn calls_in(
+    toks: &[Tok],
+    f: &FnItem,
+    registry: &BTreeMap<String, Accessor>,
+) -> Vec<AccessorCall> {
+    let mut out = Vec::new();
+    for k in f.body.clone() {
+        if toks[k].kind != TokKind::Ident || !toks.get(k + 1).is_some_and(|t| t.is("(")) {
+            continue;
+        }
+        if k > 0 && toks[k - 1].is("fn") {
+            continue;
+        }
+        let Some(acc) = registry.get(&toks[k].text) else {
+            continue;
+        };
+        let Some(close) = matching(toks, k + 1, "(", ")") else {
+            continue;
+        };
+        let args = split_top_commas(toks, k + 2..close);
+        let Some(arg) = args.get(acc.param) else {
+            continue;
+        };
+        out.push(AccessorCall {
+            callee: toks[k].text.clone(),
+            pos: k,
+            line: toks[k].line,
+            idx: expr_text(toks, arg.clone()),
+        });
+    }
+    out
+}
+
+/// Rule 12: `unchecked-guard` — see the module docs.
+pub fn unchecked_guard(
+    ws: &Workspace,
+    fi: usize,
+    cfg: &Config,
+    _an: &Analysis,
+    out: &mut Vec<Finding>,
+) {
+    let file = &ws.files[fi];
+    let Some(scope) = cfg.unchecked_scope(&file.path) else {
+        return;
+    };
+    let toks = &file.parsed.toks;
+
+    // Root accessors: the scoped `# Safety: idx < cap` fns, index at
+    // their first parameter.
+    let mut registry: BTreeMap<String, Accessor> = BTreeMap::new();
+    for f in &file.parsed.fns {
+        if scope.accessors.contains(&f.name.as_str()) {
+            registry.insert(
+                f.name.clone(),
+                Accessor {
+                    param: 0,
+                    decl_line: f.line,
+                    chain: vec![f.name.clone()],
+                },
+            );
+        }
+    }
+    if registry.is_empty() {
+        return;
+    }
+
+    let fns: Vec<&FnItem> = file.parsed.fns.iter().filter(|f| !f.in_test_mod).collect();
+    let facts: Vec<Facts> = fns
+        .iter()
+        .map(|f| collect_facts(toks, f, scope))
+        .collect();
+
+    // Derived-accessor fixpoint: an unproven index that is exactly a
+    // parameter promotes the enclosing fn to an accessor (callers are
+    // checked at that argument); everything else is a finding on the
+    // final pass.
+    loop {
+        let mut changed = false;
+        for (f, fx) in fns.iter().zip(&facts) {
+            for call in calls_in(toks, f, &registry) {
+                if proven(&call.idx, call.pos, fx) || registry.contains_key(&f.name) {
+                    continue;
+                }
+                if !is_unsafe_fn(toks, f) {
+                    continue;
+                }
+                if let Some(p) = f.params.iter().position(|p| *p == call.idx) {
+                    let mut chain = vec![f.name.clone()];
+                    chain.extend(registry[&call.callee].chain.iter().cloned());
+                    registry.insert(
+                        f.name.clone(),
+                        Accessor {
+                            param: p,
+                            decl_line: f.line,
+                            chain,
+                        },
+                    );
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    for (f, fx) in fns.iter().zip(&facts) {
+        for call in calls_in(toks, f, &registry) {
+            if proven(&call.idx, call.pos, fx) {
+                continue;
+            }
+            // Parameter passthrough inside an unsafe accessor: the
+            // contract moved to this fn's callers.
+            if registry.contains_key(&f.name)
+                && is_unsafe_fn(toks, f)
+                && f.params.contains(&call.idx)
+            {
+                continue;
+            }
+            let acc = &registry[&call.callee];
+            let msg = if acc.chain.len() == 1 {
+                format!(
+                    "`{}` calls unsafe `{}` with unproven index `{}`; the \
+                     `# Safety` contract requires it below capacity — dominate \
+                     it with a reservation bound check \
+                     (`idx + n > capacity -> return Err`) or a loop clamped by \
+                     an Acquire-loaded publication index",
+                    f.name, call.callee, call.idx
+                )
+            } else {
+                let mut hops: Vec<String> = vec![format!("`{}`", f.name)];
+                hops.extend(acc.chain.iter().map(|n| format!("`{n}`")));
+                format!(
+                    "`{}` passes unproven index `{}` to `{}` ({}:{}), which \
+                     forwards it to unsafe `{}` (via {})",
+                    f.name,
+                    call.idx,
+                    call.callee,
+                    file.path,
+                    acc.decl_line,
+                    acc.chain.last().unwrap(),
+                    hops.join(" -> ")
+                )
+            };
+            out.push(Finding {
+                rule: "unchecked-guard",
+                file: file.path.clone(),
+                line: call.line,
+                message: msg,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::Workspace;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(vec![(
+            "fixtures/unchecked_guard.rs".into(),
+            src.into(),
+        )]);
+        let cfg = Config::fixture();
+        let an = crate::lints::analyze(&ws, &cfg);
+        let mut out = Vec::new();
+        unchecked_guard(&ws, 0, &cfg, &an, &mut out);
+        out
+    }
+
+    #[test]
+    fn guard_then_call_is_clean() {
+        let f = run(
+            "impl Q {\n\
+             unsafe fn slot(&self, idx: u64) -> u64 { idx }\n\
+             fn push(&self, idx: u64) -> Result<(), ()> {\n\
+                 if idx >= self.slots.len() as u64 { return Err(()); }\n\
+                 let _ = unsafe { self.slot(idx) };\n\
+                 Ok(())\n\
+             }\n\
+             }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unguarded_call_is_flagged() {
+        let f = run(
+            "impl Q {\n\
+             unsafe fn slot(&self, idx: u64) -> u64 { idx }\n\
+             fn push(&self, idx: u64) {\n\
+                 let _ = unsafe { self.slot(idx) };\n\
+             }\n\
+             }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("unproven index `idx`"));
+    }
+
+    #[test]
+    fn publication_bounded_drain_is_clean() {
+        let f = run(
+            "impl Q {\n\
+             unsafe fn slot(&self, idx: u64) -> u64 { idx }\n\
+             fn drain(&self, s: u64, max: u64) {\n\
+                 let e = self.end.load(Ordering::Acquire);\n\
+                 let take = (max).min(e - s);\n\
+                 for i in 0..take {\n\
+                     let _ = unsafe { self.slot(s + i) };\n\
+                 }\n\
+             }\n\
+             }\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn derived_accessor_checks_the_caller() {
+        let f = run(
+            "impl Q {\n\
+             unsafe fn slot(&self, idx: u64) -> u64 { idx }\n\
+             unsafe fn write_at(&self, idx: u64) -> u64 { unsafe { self.slot(idx) } }\n\
+             fn drain_bad(&self, hi: u64) {\n\
+                 for i in 0..hi {\n\
+                     let _ = unsafe { self.write_at(i) };\n\
+                 }\n\
+             }\n\
+             }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`drain_bad` -> `write_at` -> `slot`"));
+    }
+}

@@ -1,26 +1,30 @@
 //! Content-hash result cache.
 //!
 //! `--cache PATH` keys a full lint run on the FNV-1a hash of the rule-set
-//! version plus every (path, content-hash) pair in the workspace. On a
-//! hit the findings *and* the wall-clock key inventory are replayed from
-//! the file, skipping parsing and analysis entirely — the second
-//! `verify.sh` invocation costs file reads only, and the replayed output
-//! is byte-identical because rendering is a pure function of the
-//! findings. Any edited, added, or removed source file changes the key
-//! and misses. The format is line-based text, committed nowhere (the
-//! cache lives under `target/` in CI).
+//! version, the active [`Config`] fingerprint, and every (path,
+//! content-hash) pair in the workspace. On a hit the findings *and* the
+//! wall-clock key inventory are replayed from the file, skipping parsing
+//! and analysis entirely — the second `verify.sh` invocation costs file
+//! reads only, and the replayed output is byte-identical because
+//! rendering is a pure function of the findings. Any edited, added, or
+//! removed source file changes the key and misses, and so does any
+//! change to the rule scopes (a new `ShardScope`, an extra accessor in an
+//! `UncheckedScope`, …): stale results can never replay under a config
+//! that would have produced different ones. The format is line-based
+//! text, committed nowhere (the cache lives under `target/` in CI).
 
 use std::fs;
 use std::io;
 use std::path::Path;
 
+use crate::config::Config;
 use crate::lints::RULES;
 use crate::taint::InventoryEntry;
 use crate::{Finding, Workspace};
 
 /// Bumping this invalidates every cache file (bump when rule behavior or
 /// the file format changes).
-const CACHE_VERSION: &str = "atos-lint-cache v1";
+const CACHE_VERSION: &str = "atos-lint-cache v2";
 
 /// FNV-1a 64-bit — the workspace's standard tiny stable hash.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -32,13 +36,15 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The cache key of this workspace state under the current rule set.
-pub fn workspace_key(ws: &Workspace) -> u64 {
+/// The cache key of this workspace state under the current rule set and
+/// lint configuration.
+pub fn workspace_key(ws: &Workspace, cfg: &Config) -> u64 {
     let mut acc = String::new();
     acc.push_str(CACHE_VERSION);
     acc.push('\n');
     acc.push_str(&RULES.join(","));
     acc.push('\n');
+    acc.push_str(&format!("config {:016x}\n", cfg.fingerprint()));
     for f in &ws.files {
         acc.push_str(&f.path);
         acc.push('\t');
@@ -196,17 +202,29 @@ mod tests {
 
     #[test]
     fn key_tracks_content_and_paths() {
+        let cfg = Config::project();
         let ws1 = Workspace::from_sources(vec![("a.rs".into(), "fn a() {}".into())]);
         let ws2 = Workspace::from_sources(vec![("a.rs".into(), "fn b() {}".into())]);
         let ws3 = Workspace::from_sources(vec![("b.rs".into(), "fn a() {}".into())]);
-        assert_ne!(workspace_key(&ws1), workspace_key(&ws2));
-        assert_ne!(workspace_key(&ws1), workspace_key(&ws3));
+        assert_ne!(workspace_key(&ws1, &cfg), workspace_key(&ws2, &cfg));
+        assert_ne!(workspace_key(&ws1, &cfg), workspace_key(&ws3, &cfg));
         assert_eq!(
-            workspace_key(&ws1),
-            workspace_key(&Workspace::from_sources(vec![(
-                "a.rs".into(),
-                "fn a() {}".into()
-            )]))
+            workspace_key(&ws1, &cfg),
+            workspace_key(
+                &Workspace::from_sources(vec![("a.rs".into(), "fn a() {}".into())]),
+                &cfg
+            )
+        );
+    }
+
+    #[test]
+    fn key_tracks_lint_config() {
+        // The same sources under a different rule configuration must not
+        // replay each other's results.
+        let ws = Workspace::from_sources(vec![("a.rs".into(), "fn a() {}".into())]);
+        assert_ne!(
+            workspace_key(&ws, &Config::project()),
+            workspace_key(&ws, &Config::fixture())
         );
     }
 }

@@ -36,6 +36,38 @@ pub struct BarrierScope {
     pub fns: &'static [&'static str],
 }
 
+/// An owner-computes scope: one source file holding a `ShardableApp`
+/// impl whose entry points the `shard-escape` rule flow-checks. Field
+/// classes (owner-indexed authoritative / per-sender private /
+/// shared-immutable) come from the `#[atos_shard(..)]` attribute on the
+/// impl's `fork`, backstopped by inference from the `fork`/`join` bodies.
+#[derive(Debug, Clone)]
+pub struct ShardScope {
+    /// Path suffix identifying the file (always `/`-separated).
+    pub file_suffix: &'static str,
+    /// The impl's `Self` type (`BfsApp`, …).
+    pub ty: &'static str,
+    /// Entry points whose writes (direct and transitive) must respect the
+    /// owner-computes discipline.
+    pub entry_fns: &'static [&'static str],
+}
+
+/// An unchecked-accessor scope: one source file whose `# Safety: idx <
+/// cap` accessors the `unchecked-guard` rule covers. Every call must
+/// prove its index against a reservation bound check. `bounded_fields`
+/// names the atomic fields whose acquire-loaded values are known
+/// capacity-bounded (they only ever advance over capacity-checked
+/// reservations), seeding the in-range-loop derivation.
+#[derive(Debug, Clone)]
+pub struct UncheckedScope {
+    /// Path suffix identifying the file (always `/`-separated).
+    pub file_suffix: &'static str,
+    /// Unsafe accessor fns with an `idx < capacity` `# Safety` contract.
+    pub accessors: &'static [&'static str],
+    /// Atomic fields whose published values are capacity-bounded.
+    pub bounded_fields: &'static [&'static str],
+}
+
 /// A function treated as `#[atos_hot]` without carrying the attribute
 /// (used for crates that must stay dependency-free, like `atos-queue`,
 /// which cannot depend on the proc-macro crate).
@@ -80,6 +112,10 @@ pub struct Config {
     pub taint_nondet_sources: &'static [&'static str],
     /// Window-barrier protocol scopes for the `barrier-phase` rule.
     pub barrier_scopes: &'static [BarrierScope],
+    /// Owner-computes scopes for the `shard-escape` rule.
+    pub shard_scopes: &'static [ShardScope],
+    /// Unchecked-accessor scopes for the `unchecked-guard` rule.
+    pub unchecked_scopes: &'static [UncheckedScope],
     /// Path fragments of files *opaque* to the determinism-taint pass.
     /// Two categories: code that is not part of the shipped runtime
     /// (integration tests, benches, the linter itself), and generic
@@ -251,6 +287,47 @@ impl Config {
                 file_suffix: "crates/core/src/runtime.rs",
                 fns: &["shard_worker"],
             }],
+            shard_scopes: &[
+                ShardScope {
+                    file_suffix: "crates/apps/src/bfs.rs",
+                    ty: "BfsApp",
+                    entry_fns: &["process", "on_receive", "on_idle"],
+                },
+                ShardScope {
+                    file_suffix: "crates/apps/src/sssp.rs",
+                    ty: "SsspApp",
+                    entry_fns: &["process", "on_receive", "on_idle"],
+                },
+                ShardScope {
+                    file_suffix: "crates/apps/src/cc.rs",
+                    ty: "CcApp",
+                    entry_fns: &["process", "on_receive", "on_idle"],
+                },
+                ShardScope {
+                    file_suffix: "crates/apps/src/pagerank.rs",
+                    ty: "PageRankApp",
+                    entry_fns: &["process", "on_receive", "on_idle"],
+                },
+            ],
+            unchecked_scopes: &[
+                UncheckedScope {
+                    file_suffix: "crates/queue/src/counter.rs",
+                    accessors: &["slot"],
+                    bounded_fields: &["end"],
+                },
+                UncheckedScope {
+                    file_suffix: "crates/queue/src/cas.rs",
+                    accessors: &["slot"],
+                    bounded_fields: &["end"],
+                },
+                UncheckedScope {
+                    // Broker's guards compare against `slots.len()`
+                    // directly, so no bounded-field seeding is needed.
+                    file_suffix: "crates/queue/src/broker.rs",
+                    accessors: &["slot", "flag"],
+                    bounded_fields: &[],
+                },
+            ],
             taint_exclude: &[
                 "/tests/",
                 "/benches/",
@@ -292,6 +369,16 @@ impl Config {
                     "window_loop_skips_drain",
                     "window_loop_ok",
                 ],
+            }],
+            shard_scopes: &[ShardScope {
+                file_suffix: "shard_escape.rs",
+                ty: "BadApp",
+                entry_fns: &["process", "on_receive", "on_idle"],
+            }],
+            unchecked_scopes: &[UncheckedScope {
+                file_suffix: "unchecked_guard.rs",
+                accessors: &["slot"],
+                bounded_fields: &["end"],
             }],
             taint_exclude: &[],
         }
@@ -338,5 +425,28 @@ impl Config {
             .find(|e| path.ends_with(e.file_suffix))
             .map(|e| e.fns)
             .unwrap_or(&[])
+    }
+
+    /// The owner-computes scope covering `path`, if any.
+    pub fn shard_scope(&self, path: &str) -> Option<&ShardScope> {
+        self.shard_scopes
+            .iter()
+            .find(|s| path.ends_with(s.file_suffix))
+    }
+
+    /// The unchecked-accessor scope covering `path`, if any.
+    pub fn unchecked_scope(&self, path: &str) -> Option<&UncheckedScope> {
+        self.unchecked_scopes
+            .iter()
+            .find(|s| path.ends_with(s.file_suffix))
+    }
+
+    /// A stable digest of every policy knob, mixed into the result-cache
+    /// key so an edited configuration invalidates cached findings instead
+    /// of replaying them. All fields are `'static` literals with derived
+    /// `Debug`, so the rendering — and therefore the digest — is a pure
+    /// function of the configuration source.
+    pub fn fingerprint(&self) -> u64 {
+        crate::cache::fnv1a64(format!("{self:?}").as_bytes())
     }
 }

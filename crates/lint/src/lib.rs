@@ -41,6 +41,18 @@
 //! 10. `barrier-phase` — protocol check on the sharded engine's window
 //!     loop: publish → barrier.wait → drain → barrier.wait → run_window,
 //!     in that order, for every configured `barrier_scopes` function.
+//! 11. `shard-escape` — owner-computes flow check ([`shard`]): every
+//!     field of a `ShardableApp` impl is classified owner-indexed
+//!     authoritative / per-sender private / shared-immutable (declared
+//!     via `#[atos_shard(..)]` on `fork`, inferred from the `fork`/`join`
+//!     bodies otherwise), and the entry points plus everything they
+//!     transitively call in-file may write authoritative state only
+//!     under a dominating `partition.owner(v) == pe` witness.
+//! 12. `unchecked-guard` — reservation-bound proofs ([`bounds`]): every
+//!     call to a `# Safety: idx < cap` unchecked accessor must dominate
+//!     its index with a diverging capacity guard or a loop clamped by an
+//!     Acquire-loaded publication index; parameter-forwarding helpers
+//!     become derived accessors so their callers are checked instead.
 //!
 //! Suppression is always visible in the diff: `#[allow_atos_lint(rule)]`
 //! on an item, an `atos-lint: allow(rule)` comment on the finding line or
@@ -49,6 +61,7 @@
 //! `mutations.rs`).
 
 pub mod baseline;
+pub mod bounds;
 pub mod cache;
 pub mod callgraph;
 pub mod config;
@@ -57,6 +70,7 @@ pub mod model;
 pub mod parse;
 pub mod report;
 pub mod sarif;
+pub mod shard;
 pub mod summaries;
 pub mod taint;
 
@@ -223,7 +237,19 @@ pub fn run_with_analysis(
     cfg: &config::Config,
     an: &lints::Analysis,
 ) -> Vec<Finding> {
-    let mut findings: Vec<Finding> = lints::run_with(ws, cfg, an)
+    run_with_analysis_timed(ws, cfg, an).0
+}
+
+/// [`run_with_analysis`], also returning the per-rule wall-time rows the
+/// CLI prints under `--timings` (analysis-phase rows come from
+/// [`lints::Analysis::phase_timings`]).
+pub fn run_with_analysis_timed(
+    ws: &Workspace,
+    cfg: &config::Config,
+    an: &lints::Analysis,
+) -> (Vec<Finding>, Vec<(&'static str, std::time::Duration)>) {
+    let (raw, timings) = lints::run_timed(ws, cfg, an);
+    let mut findings: Vec<Finding> = raw
         .into_iter()
         .filter(|f| {
             ws.files
@@ -237,5 +263,5 @@ pub fn run_with_analysis(
         (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
     });
     findings.dedup();
-    findings
+    (findings, timings)
 }

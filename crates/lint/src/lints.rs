@@ -25,6 +25,8 @@ pub const RULES: &[&str] = &[
     "missing-safety",
     "determinism-taint",
     "barrier-phase",
+    "shard-escape",
+    "unchecked-guard",
 ];
 
 /// The interprocedural substrate the rules share: built once per run.
@@ -35,17 +37,28 @@ pub struct Analysis {
     pub summaries: Summaries,
     /// Determinism-taint findings and wall-clock key inventory.
     pub taint: TaintResult,
+    /// Wall time of each analysis phase (for `--timings`).
+    pub phase_timings: Vec<(&'static str, std::time::Duration)>,
 }
 
 /// Build the call graph, effect summaries, and taint analysis.
 pub fn analyze(ws: &Workspace, cfg: &Config) -> Analysis {
+    let t0 = std::time::Instant::now();
     let graph = CallGraph::build(ws);
+    let t1 = std::time::Instant::now();
     let summaries = Summaries::compute(ws, cfg, &graph);
+    let t2 = std::time::Instant::now();
     let taint = taint::analyze(ws, cfg, &graph);
+    let t3 = std::time::Instant::now();
     Analysis {
         graph,
         summaries,
         taint,
+        phase_timings: vec![
+            ("analysis: call graph", t1 - t0),
+            ("analysis: effect summaries", t2 - t1),
+            ("analysis: determinism taint", t3 - t2),
+        ],
     }
 }
 
@@ -56,21 +69,62 @@ pub fn run_all(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
 
 /// Run every rule against a prebuilt [`Analysis`].
 pub fn run_with(ws: &Workspace, cfg: &Config, an: &Analysis) -> Vec<Finding> {
+    run_timed(ws, cfg, an).0
+}
+
+/// [`run_with`], also returning per-rule wall time (for `--timings`).
+/// The three ordering rules share one pass and report as one row.
+pub fn run_timed(
+    ws: &Workspace,
+    cfg: &Config,
+    an: &Analysis,
+) -> (Vec<Finding>, Vec<(&'static str, std::time::Duration)>) {
     let mut out = Vec::new();
-    for (fi, file) in ws.files.iter().enumerate() {
-        if file.skip {
-            continue;
-        }
-        facade_bypass(file, cfg, &mut out);
-        ordering_rules(file, cfg, &mut out);
-        hot_path_alloc(ws, fi, cfg, an, &mut out);
-        panic_in_kernel(ws, fi, cfg, an, &mut out);
-        sim_determinism(file, cfg, &mut out);
-        missing_safety(file, &mut out);
-        barrier_phase(file, cfg, &mut out);
+    let mut timings: Vec<(&'static str, std::time::Duration)> = Vec::new();
+    {
+        let mut rule = |name: &'static str,
+                        out: &mut Vec<Finding>,
+                        f: &mut dyn FnMut(usize, &SourceFile, &mut Vec<Finding>)| {
+            let t0 = std::time::Instant::now();
+            for (fi, file) in ws.files.iter().enumerate() {
+                if !file.skip {
+                    f(fi, file, out);
+                }
+            }
+            timings.push((name, t0.elapsed()));
+        };
+        rule("facade-bypass", &mut out, &mut |_, file, out| {
+            facade_bypass(file, cfg, out)
+        });
+        rule("ordering (3 rules)", &mut out, &mut |_, file, out| {
+            ordering_rules(file, cfg, out)
+        });
+        rule("hot-path-alloc", &mut out, &mut |fi, _, out| {
+            hot_path_alloc(ws, fi, cfg, an, out)
+        });
+        rule("panic-in-kernel", &mut out, &mut |fi, _, out| {
+            panic_in_kernel(ws, fi, cfg, an, out)
+        });
+        rule("sim-determinism", &mut out, &mut |_, file, out| {
+            sim_determinism(file, cfg, out)
+        });
+        rule("missing-safety", &mut out, &mut |_, file, out| {
+            missing_safety(file, out)
+        });
+        rule("barrier-phase", &mut out, &mut |_, file, out| {
+            barrier_phase(file, cfg, out)
+        });
+        rule("shard-escape", &mut out, &mut |fi, _, out| {
+            crate::shard::shard_escape(ws, fi, cfg, an, out)
+        });
+        rule("unchecked-guard", &mut out, &mut |fi, _, out| {
+            crate::bounds::unchecked_guard(ws, fi, cfg, an, out)
+        });
     }
+    let t0 = std::time::Instant::now();
     out.extend(an.taint.findings.iter().cloned());
-    out
+    timings.push(("determinism-taint", t0.elapsed()));
+    (out, timings)
 }
 
 fn finding(rule: &'static str, file: &SourceFile, line: u32, message: String) -> Finding {

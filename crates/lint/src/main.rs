@@ -8,8 +8,10 @@
 //! ```
 //!
 //! `--json` is a legacy alias for `--emit json`. `--cache FILE` keys the
-//! run on a content hash of the workspace and replays findings (and the
-//! wall-clock inventory) byte-identically on a hit.
+//! run on a content hash of the workspace and the lint config and replays
+//! findings (and the wall-clock inventory) byte-identically on a hit.
+//! `--timings` prints a per-rule wall-time breakdown to stderr (on a
+//! cache hit the analysis is skipped and no breakdown exists).
 //! `--wall-clock-inventory FILE` writes the determinism-taint pass's
 //! metric-key inventory (the artifact `crates/bench/tests/trace_golden.rs`
 //! consumes).
@@ -20,7 +22,7 @@
 use atos_lint::{
     baseline, cache,
     config::Config,
-    lints, report, run_with_analysis, sarif,
+    lints, report, run_with_analysis_timed, sarif,
     taint::{render_inventory, InventoryEntry},
     Finding, Workspace,
 };
@@ -43,6 +45,7 @@ struct Args {
     baseline: Option<PathBuf>,
     cache: Option<PathBuf>,
     inventory: Option<PathBuf>,
+    timings: bool,
     paths: Vec<PathBuf>,
 }
 
@@ -50,7 +53,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: atos-lint (--workspace | PATH...) [--emit human|json|sarif] \
          [--json] [--deny-new] [--baseline FILE] [--write-baseline] \
-         [--cache FILE] [--wall-clock-inventory FILE]"
+         [--cache FILE] [--wall-clock-inventory FILE] [--timings]"
     );
     ExitCode::from(2)
 }
@@ -64,6 +67,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         baseline: None,
         cache: None,
         inventory: None,
+        timings: false,
         paths: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -91,6 +95,7 @@ fn parse_args() -> Result<Args, ExitCode> {
                 Some(p) => a.inventory = Some(PathBuf::from(p)),
                 None => return Err(usage()),
             },
+            "--timings" => a.timings = true,
             "-h" | "--help" => return Err(usage()),
             p if !p.starts_with('-') => a.paths.push(PathBuf::from(p)),
             _ => return Err(usage()),
@@ -151,16 +156,28 @@ fn main() -> ExitCode {
     };
 
     let cfg = Config::project();
+    let run_live = |timings: bool| {
+        let an = lints::analyze(&ws, &cfg);
+        let (findings, rule_timings) = run_with_analysis_timed(&ws, &cfg, &an);
+        if timings {
+            print_timings(&an.phase_timings, &rule_timings);
+        }
+        (findings, an.taint.inventory)
+    };
     let (findings, inventory, cache_state): (Vec<Finding>, Vec<InventoryEntry>, &str) =
         match &args.cache {
             Some(cache_path) => {
-                let key = cache::workspace_key(&ws);
+                let key = cache::workspace_key(&ws, &cfg);
                 if let Some(hit) = cache::load(cache_path, key) {
+                    if args.timings {
+                        eprintln!(
+                            "atos-lint: --timings: cache hit replays stored \
+                             findings; no analysis ran"
+                        );
+                    }
                     (hit.findings, hit.inventory, "cache hit")
                 } else {
-                    let an = lints::analyze(&ws, &cfg);
-                    let findings = run_with_analysis(&ws, &cfg, &an);
-                    let inventory = an.taint.inventory;
+                    let (findings, inventory) = run_live(args.timings);
                     if let Err(e) = cache::store(cache_path, key, &findings, &inventory) {
                         eprintln!("atos-lint: writing {}: {e}", cache_path.display());
                     }
@@ -168,9 +185,8 @@ fn main() -> ExitCode {
                 }
             }
             None => {
-                let an = lints::analyze(&ws, &cfg);
-                let findings = run_with_analysis(&ws, &cfg, &an);
-                (findings, an.taint.inventory, "no cache")
+                let (findings, inventory) = run_live(args.timings);
+                (findings, inventory, "no cache")
             }
         };
     eprintln!(
@@ -259,6 +275,24 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Render the `--timings` breakdown to stderr (stdout stays reserved for
+/// the byte-compared reports).
+fn print_timings(
+    phases: &[(&'static str, std::time::Duration)],
+    rules: &[(&'static str, std::time::Duration)],
+) {
+    eprintln!("atos-lint: wall time by phase and rule:");
+    let total: std::time::Duration = phases
+        .iter()
+        .chain(rules.iter())
+        .map(|(_, d)| *d)
+        .sum();
+    for (name, d) in phases.iter().chain(rules.iter()) {
+        eprintln!("  {:<32} {:>9.3} ms", name, d.as_secs_f64() * 1e3);
+    }
+    eprintln!("  {:<32} {:>9.3} ms", "total", total.as_secs_f64() * 1e3);
 }
 
 /// Collect `.rs` sources under an explicit path argument.

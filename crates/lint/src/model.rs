@@ -191,6 +191,90 @@ pub(crate) fn receiver_field(toks: &[Tok], dot: usize) -> String {
     }
 }
 
+/// Index of the token matching the opener at `open` (which must hold
+/// `open_s`), scanning forward and balancing `open_s`/`close_s` pairs.
+/// `None` if the stream ends unbalanced.
+pub(crate) fn matching(toks: &[Tok], open: usize, open_s: &str, close_s: &str) -> Option<usize> {
+    if !toks.get(open)?.is(open_s) {
+        return None;
+    }
+    let mut d = 0i32;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is(open_s) {
+            d += 1;
+        } else if t.is(close_s) {
+            d -= 1;
+            if d == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Split a token range at top-level commas (paren/bracket/brace depth 0
+/// relative to the range), e.g. an argument list with its outer parens
+/// already stripped.
+pub(crate) fn split_top_commas(
+    toks: &[Tok],
+    range: std::ops::Range<usize>,
+) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = range.start;
+    for i in range.clone() {
+        match toks[i].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "," if depth == 0 => {
+                out.push(start..i);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < range.end {
+        out.push(start..range.end);
+    }
+    out
+}
+
+/// First identifier token in a range, if any.
+pub(crate) fn first_ident_in(toks: &[Tok], range: std::ops::Range<usize>) -> Option<&str> {
+    toks[range]
+        .iter()
+        .find(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+}
+
+/// Render a token range as source-order text with `as TYPE` casts and
+/// grouping parens stripped — the normalized index-expression form the
+/// bounds facts are keyed on (`(idx) as u64` and `idx` both render as
+/// `idx`; `state . cursor` renders as `state.cursor`).
+pub(crate) fn expr_text(toks: &[Tok], range: std::ops::Range<usize>) -> String {
+    let mut out = String::new();
+    let mut i = range.start;
+    while i < range.end {
+        let t = &toks[i];
+        if t.is("as") && t.kind == TokKind::Ident {
+            // Skip the cast keyword and its type tokens (ident plus any
+            // `::`-path tail).
+            i += 1;
+            while i < range.end
+                && (toks[i].kind == TokKind::Ident || toks[i].is("::"))
+            {
+                i += 1;
+            }
+            continue;
+        }
+        if !t.is("(") && !t.is(")") {
+            out.push_str(&t.text);
+        }
+        i += 1;
+    }
+    out
+}
+
 /// Extract the ordered event list of one function body.
 pub fn events_of(file: &ParsedFile, f: &FnItem) -> Vec<Event> {
     let toks = &file.toks;

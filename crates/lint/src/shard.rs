@@ -1,0 +1,537 @@
+//! `shard-escape`: the owner-computes discipline, checked statically.
+//!
+//! The sharded runtime's byte-identity guarantee (DESIGN.md §5) rests on
+//! a convention the type system cannot see: a `ShardableApp`'s entry
+//! points (`process`, `on_receive`, `on_idle`) may mutate *authoritative*
+//! vertex-indexed state only at indices the current PE owns — the paper's
+//! one-sided `atomicMin` lands in the owner's memory, and `join` adopts
+//! exactly the owner-range entries back. A write to `depth[w]` where
+//! `partition.owner(w) != pe` is silently discarded at join time in a
+//! sharded run but visible in a sequential one: the runs diverge.
+//!
+//! The rule classifies every field of the impl into three classes —
+//! declared by `#[atos_shard(owner(..), private(..), shared(..))]` on the
+//! impl's `fork`, backstopped by inference from the `fork`/`join` bodies
+//! (join writes under an `(lo..hi).contains(&owner)` guard are
+//! authoritative; other join adoptions are per-sender private; everything
+//! else the fork clones is shared) — then walks each entry point and
+//! everything it transitively calls in the same file:
+//!
+//! * a write to an `owner` field must be dominated by an owner witness
+//!   for its index: an `assert_owner!(partition, v, pe)` /
+//!   `debug_assert_eq!(partition.owner(v), pe)` (valid to the end of the
+//!   function) or a `let o = partition.owner(v); if o == pe { … }` guard
+//!   (valid inside the guarded block only);
+//! * a write to a `shared` field, or a wholesale overwrite of an `owner`
+//!   array, is always a finding;
+//! * `private` fields (send-side mirrors) are writable freely — they
+//!   never cross the shard boundary;
+//! * sends (`out.push(owner, task)`) are the only escape for non-owned
+//!   updates and are untouched by the rule.
+//!
+//! Transitive violations are reported at the entry point's call site
+//! with a provenance chain naming the helper and the violating write,
+//! mirroring `hot-path-alloc`'s chain messages.
+
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+use crate::callgraph::FnId;
+use crate::config::{Config, ShardScope};
+use crate::lints::Analysis;
+use crate::model::{first_ident_in, matching, split_top_commas};
+use crate::parse::{FnItem, Tok, TokKind};
+use crate::{Finding, SourceFile, Workspace};
+
+/// Ownership class of one `ShardableApp` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldClass {
+    /// Owner-indexed authoritative state: writable only at owned indices.
+    Owner,
+    /// Per-sender scratch (mirrors): never crosses the shard boundary.
+    Private,
+    /// Immutable topology/config: read-only in entry paths.
+    Shared,
+}
+
+/// One detected field write in a function body.
+struct FieldWrite {
+    /// Field name (last path segment before the index/assignment).
+    field: String,
+    /// First identifier of the *last* index group (`w` in
+    /// `mirror[pe][w as usize]`), `None` for a wholesale assignment.
+    idx: Option<String>,
+    /// Token index of the field identifier (for witness-span checks).
+    at: usize,
+    /// 1-based source line of the write.
+    line: u32,
+}
+
+/// A rule violation inside one function, before message rendering.
+struct Violation {
+    field: String,
+    idx: Option<String>,
+    line: u32,
+    class: FieldClass,
+}
+
+/// The method `name` of impl type `ty`, if defined in this file.
+fn find_method<'a>(file: &'a SourceFile, ty: &str, name: &str) -> Option<&'a FnItem> {
+    file.parsed
+        .fns
+        .iter()
+        .find(|f| !f.in_test_mod && f.name == name && f.self_ty.as_deref() == Some(ty))
+}
+
+/// Is the token at `j` the start of an assignment operator (`=` or a
+/// compound `+=`-family, excluding the `==` comparison)?
+fn assigns_at(toks: &[Tok], j: usize) -> bool {
+    let Some(t) = toks.get(j) else { return false };
+    let next_eq = toks.get(j + 1).is_some_and(|n| n.is("="));
+    if t.is("=") {
+        return !next_eq;
+    }
+    matches!(t.text.as_str(), "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^") && next_eq
+}
+
+/// Every `recv.field[..] = ..` / `&mut recv.field[..]` / `recv.field = ..`
+/// write in a token range, in source order.
+fn writes_in(toks: &[Tok], range: Range<usize>) -> Vec<FieldWrite> {
+    let mut out = Vec::new();
+    let mut i = range.start;
+    while i + 2 < range.end {
+        if toks[i].kind == TokKind::Ident
+            && toks[i + 1].is(".")
+            && toks[i + 2].kind == TokKind::Ident
+        {
+            let field_at = i + 2;
+            let mut j = field_at + 1;
+            let mut idx = None;
+            let mut indexed = false;
+            while j < range.end && toks[j].is("[") {
+                let Some(close) = matching(toks, j, "[", "]") else { break };
+                idx = first_ident_in(toks, j + 1..close).map(str::to_string);
+                indexed = true;
+                j = close + 1;
+            }
+            let borrow_mut = i >= 2 && toks[i - 1].is("mut") && toks[i - 2].is("&");
+            if assigns_at(toks, j) || (borrow_mut && indexed) {
+                out.push(FieldWrite {
+                    field: toks[field_at].text.clone(),
+                    idx: if indexed { idx } else { None },
+                    at: field_at,
+                    line: toks[field_at].line,
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Classify the impl's fields: attribute first, then `join` inference
+/// (owner-guarded writes are authoritative, other adoptions private),
+/// then everything else the `fork` clones as shared.
+pub(crate) fn classify_fields(
+    file: &SourceFile,
+    scope: &ShardScope,
+) -> BTreeMap<String, FieldClass> {
+    let toks = &file.parsed.toks;
+    let mut map: BTreeMap<String, FieldClass> = BTreeMap::new();
+
+    // 1. `#[atos_shard(owner(a, b), private(c), shared(d))]` on `fork`.
+    //    The parser flattens attribute args to an in-order ident list, so
+    //    the class keywords act as mode switches.
+    if let Some(fork) = find_method(file, scope.ty, "fork") {
+        if let Some(a) = fork.attrs.iter().find(|a| a.name == "atos_shard") {
+            let mut cur = None;
+            for arg in &a.args {
+                match arg.as_str() {
+                    "owner" => cur = Some(FieldClass::Owner),
+                    "private" => cur = Some(FieldClass::Private),
+                    "shared" => cur = Some(FieldClass::Shared),
+                    field => {
+                        if let Some(c) = cur {
+                            map.entry(field.to_string()).or_insert(c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // 2. Inference from `join`: a write inside an
+    //    `(lo..hi).contains(&owner)`-guarded block adopts authoritative
+    //    entries; any other join write is a per-sender row adoption.
+    if let Some(join) = find_method(file, scope.ty, "join") {
+        let mut guards: Vec<Range<usize>> = Vec::new();
+        let mut i = join.body.start;
+        while i + 1 < join.body.end {
+            if toks[i].is("contains") && toks[i + 1].is("(") {
+                if let Some(close) = matching(toks, i + 1, "(", ")") {
+                    let names_owner = (i + 2..close)
+                        .any(|k| toks[k].kind == TokKind::Ident && toks[k].is("owner"));
+                    if names_owner {
+                        if let Some(open) =
+                            (close..join.body.end).find(|&k| toks[k].is("{"))
+                        {
+                            if let Some(end) = matching(toks, open, "{", "}") {
+                                guards.push(open..end);
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        for w in writes_in(toks, join.body.clone()) {
+            let class = if guards.iter().any(|g| g.contains(&w.at)) {
+                FieldClass::Owner
+            } else {
+                FieldClass::Private
+            };
+            map.entry(w.field).or_insert(class);
+        }
+    }
+
+    // 3. Remaining fields named in the fork's struct literal (`field: …`)
+    //    are cloned but never adopted back: shared-immutable.
+    if let Some(fork) = find_method(file, scope.ty, "fork") {
+        for i in fork.body.clone() {
+            if toks[i].kind == TokKind::Ident
+                && toks.get(i + 1).is_some_and(|t| t.is(":"))
+                && !toks.get(i + 2).is_some_and(|t| t.is(":"))
+                && !(i > 0 && toks[i - 1].is(":"))
+            {
+                map.entry(toks[i].text.clone()).or_insert(FieldClass::Shared);
+            }
+        }
+    }
+
+    map
+}
+
+/// Owner witnesses in one function: `(index var, token span where the
+/// witness dominates)`.
+fn collect_witnesses(toks: &[Tok], f: &FnItem) -> Vec<(String, Range<usize>)> {
+    let mut spans: Vec<(String, Range<usize>)> = Vec::new();
+    // `let O = <recv>.owner(X)` bindings seen so far: O → X.
+    let mut bind: BTreeMap<String, String> = BTreeMap::new();
+    let mut i = f.body.start;
+    while i < f.body.end {
+        let t = &toks[i];
+
+        // Macro witnesses, valid from here to the end of the function:
+        // `debug_assert_eq!(….owner(X), pe, …)` (either arg order) and
+        // `assert_owner!(partition_expr, X, pe)`.
+        if t.kind == TokKind::Ident
+            && i + 2 < f.body.end
+            && toks[i + 1].is("!")
+            && toks[i + 2].is("(")
+        {
+            if let Some(close) = matching(toks, i + 2, "(", ")") {
+                let args = i + 3..close;
+                let vertex = match t.text.as_str() {
+                    "debug_assert_eq" | "assert_eq" => {
+                        let names_pe = args
+                            .clone()
+                            .any(|k| toks[k].kind == TokKind::Ident && toks[k].is("pe"));
+                        if names_pe {
+                            owner_call_vertex(toks, args)
+                        } else {
+                            None
+                        }
+                    }
+                    "assert_owner" => split_top_commas(toks, args)
+                        .get(1)
+                        .and_then(|r| first_ident_in(toks, r.clone()))
+                        .map(str::to_string),
+                    _ => None,
+                };
+                if let Some(v) = vertex {
+                    spans.push((v, i..f.body.end));
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+
+        // `O = ….owner(X)` binding (typically `let owner = …`). The
+        // left-walk over the receiver chain stops at `=`; a `==`
+        // comparison has a punct (not an ident) before the `=` and is
+        // rejected.
+        if t.is(".")
+            && i + 2 < f.body.end
+            && toks[i + 1].is("owner")
+            && toks[i + 2].is("(")
+        {
+            if let Some(close) = matching(toks, i + 2, "(", ")") {
+                if let Some(x) = first_ident_in(toks, i + 3..close) {
+                    let mut k = i;
+                    while k > f.body.start
+                        && (toks[k - 1].kind == TokKind::Ident || toks[k - 1].is("."))
+                    {
+                        k -= 1;
+                    }
+                    if k >= f.body.start + 2
+                        && toks[k - 1].is("=")
+                        && toks[k - 2].kind == TokKind::Ident
+                    {
+                        bind.insert(toks[k - 2].text.clone(), x.to_string());
+                    }
+                }
+            }
+        }
+
+        // `if O == pe {` / `if pe == O {` guard: the witness holds inside
+        // the guarded block only — an `else` branch write is *not*
+        // covered, which is exactly the non-owner-escape shape.
+        if t.is("if") && i + 5 < f.body.end {
+            let (a, b) = (&toks[i + 1], &toks[i + 4]);
+            if a.kind == TokKind::Ident
+                && toks[i + 2].is("=")
+                && toks[i + 3].is("=")
+                && b.kind == TokKind::Ident
+                && toks[i + 5].is("{")
+            {
+                let owner_var = if a.is("pe") { Some(&b.text) } else if b.is("pe") {
+                    Some(&a.text)
+                } else {
+                    None
+                };
+                if let Some(x) = owner_var.and_then(|o| bind.get(o)) {
+                    if let Some(end) = matching(toks, i + 5, "{", "}") {
+                        spans.push((x.clone(), i + 5..end));
+                    }
+                }
+            }
+        }
+
+        i += 1;
+    }
+    spans
+}
+
+/// The first ident inside the parens of the first `.owner(` call in a
+/// token range (`debug_assert_eq!(self.partition.owner(w), pe)` → `w`).
+fn owner_call_vertex(toks: &[Tok], range: Range<usize>) -> Option<String> {
+    let mut i = range.start;
+    while i + 2 < range.end {
+        if toks[i].is(".") && toks[i + 1].is("owner") && toks[i + 2].is("(") {
+            let close = matching(toks, i + 2, "(", ")")?;
+            return first_ident_in(toks, i + 3..close).map(str::to_string);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// All owner-computes violations inside one function.
+fn violations_in(
+    file: &SourceFile,
+    f: &FnItem,
+    classes: &BTreeMap<String, FieldClass>,
+) -> Vec<Violation> {
+    let toks = &file.parsed.toks;
+    let witnesses = collect_witnesses(toks, f);
+    let mut out = Vec::new();
+    for w in writes_in(toks, f.body.clone()) {
+        let Some(class) = classes.get(&w.field) else {
+            continue; // unclassified receiver (not app state)
+        };
+        match class {
+            FieldClass::Private => {}
+            FieldClass::Shared => out.push(Violation {
+                field: w.field,
+                idx: w.idx,
+                line: w.line,
+                class: FieldClass::Shared,
+            }),
+            FieldClass::Owner => {
+                let witnessed = w.idx.as_ref().is_some_and(|x| {
+                    witnesses
+                        .iter()
+                        .any(|(v, span)| v == x && span.contains(&w.at))
+                });
+                if !witnessed {
+                    out.push(Violation {
+                        field: w.field,
+                        idx: w.idx,
+                        line: w.line,
+                        class: FieldClass::Owner,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn render_local(f: &FnItem, v: &Violation) -> String {
+    match (v.class, &v.idx) {
+        (FieldClass::Shared, _) => format!(
+            "`{}` writes shared-immutable field `{}`; topology/config state \
+             is read-only in shard entry paths",
+            f.name, v.field
+        ),
+        (_, Some(idx)) => format!(
+            "`{}` writes owner-indexed `{}[{idx}]` with no dominating \
+             `partition.owner({idx}) == pe` guard or `assert_owner!` witness; \
+             only the owning PE may mutate authoritative state — send the \
+             update to `owner` instead",
+            f.name, v.field
+        ),
+        (_, None) => format!(
+            "`{}` overwrites owner-indexed array `{}` wholesale; \
+             authoritative state may only be updated per-element at owned \
+             indices",
+            f.name, v.field
+        ),
+    }
+}
+
+/// Rule 11: `shard-escape` — see the module docs.
+pub fn shard_escape(
+    ws: &Workspace,
+    fi: usize,
+    cfg: &Config,
+    an: &Analysis,
+    out: &mut Vec<Finding>,
+) {
+    let file = &ws.files[fi];
+    let Some(scope) = cfg.shard_scope(&file.path) else {
+        return;
+    };
+    let classes = classify_fields(file, scope);
+    if classes.is_empty() {
+        return;
+    }
+    let is_entry = |f: &FnItem| {
+        scope.entry_fns.contains(&f.name.as_str()) && f.self_ty.as_deref() == Some(scope.ty)
+    };
+    for (gi, f) in file.parsed.fns.iter().enumerate() {
+        if f.in_test_mod || f.body.is_empty() || !is_entry(f) {
+            continue;
+        }
+        // Direct violations, reported at the write.
+        for v in violations_in(file, f, &classes) {
+            out.push(Finding {
+                rule: "shard-escape",
+                file: file.path.clone(),
+                line: v.line,
+                message: render_local(f, &v),
+            });
+        }
+        // Transitive: helpers reached through the call graph, restricted
+        // to this file (the impl and its outlined protocol code). Each
+        // violating write is reported at the entry's call site with the
+        // full hop chain.
+        let mut visited: Vec<FnId> = vec![(fi, gi)];
+        let mut stack: Vec<(FnId, Vec<String>, u32)> = Vec::new();
+        for site in an.graph.callees_of((fi, gi)) {
+            if site.callee.0 == fi {
+                stack.push((
+                    site.callee,
+                    vec![f.name.clone(), site.name.clone()],
+                    site.line,
+                ));
+            }
+        }
+        while let Some((id, chain, entry_line)) = stack.pop() {
+            if visited.contains(&id) {
+                continue;
+            }
+            visited.push(id);
+            let g = &file.parsed.fns[id.1];
+            if g.in_test_mod || g.body.is_empty() || is_entry(g) {
+                continue;
+            }
+            let hops: Vec<String> = chain.iter().map(|n| format!("`{n}`")).collect();
+            for v in violations_in(file, g, &classes) {
+                let what = match (&v.class, &v.idx) {
+                    (FieldClass::Shared, _) => {
+                        format!("shared-immutable field `{}`", v.field)
+                    }
+                    (_, Some(idx)) => format!("owner-indexed `{}[{idx}]`", v.field),
+                    (_, None) => format!("owner-indexed array `{}`", v.field),
+                };
+                out.push(Finding {
+                    rule: "shard-escape",
+                    file: file.path.clone(),
+                    line: entry_line,
+                    message: format!(
+                        "`{}` calls `{}` ({}:{}), which writes {what} at line {} \
+                         with no dominating owner witness (via {})",
+                        f.name,
+                        g.name,
+                        file.path,
+                        g.line,
+                        v.line,
+                        hops.join(" -> ")
+                    ),
+                });
+            }
+            for site in an.graph.callees_of(id) {
+                if site.callee.0 == fi && !visited.contains(&site.callee) {
+                    let mut c = chain.clone();
+                    c.push(site.name.clone());
+                    stack.push((site.callee, c, entry_line));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::Workspace;
+
+    fn classify(src: &str) -> BTreeMap<String, FieldClass> {
+        let ws = Workspace::from_sources(vec![(
+            "fixtures/shard_escape.rs".into(),
+            src.into(),
+        )]);
+        let cfg = Config::fixture();
+        let scope = cfg.shard_scope("fixtures/shard_escape.rs").unwrap();
+        classify_fields(&ws.files[0], scope)
+    }
+
+    #[test]
+    fn attribute_classes_win() {
+        let m = classify(
+            "impl BadApp {\n\
+             #[atos_shard(owner(depth), private(mirror), shared(graph))]\n\
+             fn fork(&self, lo: usize, hi: usize) -> Self { BadApp }\n\
+             }\n",
+        );
+        assert_eq!(m.get("depth"), Some(&FieldClass::Owner));
+        assert_eq!(m.get("mirror"), Some(&FieldClass::Private));
+        assert_eq!(m.get("graph"), Some(&FieldClass::Shared));
+    }
+
+    #[test]
+    fn join_inference_fills_gaps() {
+        // No attribute at all: `labels` is written under the owner guard
+        // (authoritative), `mirror` outside it (private), and `graph` is
+        // only cloned by fork (shared).
+        let m = classify(
+            "impl BadApp {\n\
+             fn fork(&self, lo: usize, hi: usize) -> Self {\n\
+                 BadApp { graph: self.graph.clone(), labels: self.labels.clone() }\n\
+             }\n\
+             fn join(&mut self, shard: BadApp, lo: usize, hi: usize) {\n\
+                 for v in 0..n {\n\
+                     let owner = self.partition.owner(v);\n\
+                     if (lo..hi).contains(&owner) { self.labels[v] = 1; }\n\
+                 }\n\
+                 for pe in lo..hi { self.mirror[pe] = row; }\n\
+             }\n\
+             }\n",
+        );
+        assert_eq!(m.get("labels"), Some(&FieldClass::Owner));
+        assert_eq!(m.get("mirror"), Some(&FieldClass::Private));
+        assert_eq!(m.get("graph"), Some(&FieldClass::Shared));
+    }
+}

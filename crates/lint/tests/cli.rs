@@ -122,6 +122,31 @@ fn cache_second_run_hits_and_is_byte_identical() {
     let _ = std::fs::remove_file(&cache);
 }
 
+#[test]
+fn timings_breakdown_lists_every_rule() {
+    let lint_dir = workspace_root().join("crates/lint");
+    let out = run(
+        &lint_dir,
+        &["tests/fixtures/facade_bypass.rs", "--timings"],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("wall time by phase and rule:"),
+        "stderr: {stderr}"
+    );
+    for row in [
+        "analysis: call graph",
+        "shard-escape",
+        "unchecked-guard",
+        "total",
+    ] {
+        assert!(stderr.contains(row), "missing `{row}` row in: {stderr}");
+    }
+    // The breakdown goes to stderr only; stdout stays byte-comparable.
+    let plain = run(&lint_dir, &["tests/fixtures/facade_bypass.rs"]);
+    assert_eq!(out.stdout, plain.stdout);
+}
+
 /// The committed wall-clock key inventory must be exactly what the
 /// analyzer regenerates from the current tree — trace_golden.rs reads
 /// the committed artifact, so drift here would silently de-sync the

@@ -1,0 +1,75 @@
+//! Bad fixture for `unchecked-guard`: calls to the `# Safety`-contract
+//! slot accessor whose indices are not dominated by a reservation bound
+//! proof — the dropped-capacity-check shape and an unclamped loop
+//! through a forwarding helper.
+
+struct BadQueue {
+    slots: Vec<u64>,
+    end: AtomicU64,
+    start: AtomicU64,
+}
+
+impl BadQueue {
+    /// The slot at `idx`, without the bounds check.
+    ///
+    /// # Safety
+    ///
+    /// `idx < self.slots.len() as u64`.
+    unsafe fn slot(&self, idx: u64) -> u64 {
+        self.slots[idx as usize]
+    }
+
+    /// Guarded push: the reservation bound check dominates the call.
+    fn push_ok(&self, items: &[u64], idx: u64) -> Result<(), ()> {
+        let n = items.len() as u64;
+        if idx + n > self.slots.len() as u64 {
+            return Err(());
+        }
+        for (i, item) in items.iter().enumerate() {
+            // SAFETY: `[idx, idx+n)` is below capacity (checked above).
+            let _ = unsafe { self.slot(idx + i as u64) } + *item;
+        }
+        Ok(())
+    }
+
+    /// The dropped-guard shape: no capacity check before the loop.
+    fn push_bad(&self, items: &[u64], idx: u64) {
+        for (i, _item) in items.iter().enumerate() {
+            // SAFETY: (wrong) the reservation was never bounds-checked.
+            let _ = unsafe { self.slot(idx + i as u64) };
+        }
+    }
+
+    /// Forwarding helper: the contract moves to the caller.
+    ///
+    /// # Safety
+    ///
+    /// `idx < self.slots.len() as u64`.
+    unsafe fn write_at(&self, idx: u64) -> u64 {
+        // SAFETY: forwarded contract — the caller proves the bound.
+        unsafe { self.slot(idx) }
+    }
+
+    /// Publication-bounded drain through the helper: clean.
+    fn drain_ok(&self, max: u64) -> u64 {
+        let e = self.end.load(Ordering::Acquire);
+        let s = self.start.load(Ordering::Relaxed);
+        let take = (max).min(e - s);
+        let mut acc = 0;
+        for i in 0..take {
+            // SAFETY: `s + i < e <= capacity` (Acquire publication bound).
+            acc += unsafe { self.write_at(s + i) };
+        }
+        acc
+    }
+
+    /// Unclamped loop bound into the helper: caught through the chain.
+    fn drain_bad(&self, hi: u64) -> u64 {
+        let mut acc = 0;
+        for i in 0..hi {
+            // SAFETY: (wrong) `hi` is not derived from a reservation.
+            acc += unsafe { self.write_at(i) };
+        }
+        acc
+    }
+}

@@ -36,6 +36,8 @@ fn rule_set_is_stable() {
             "missing-safety",
             "determinism-taint",
             "barrier-phase",
+            "shard-escape",
+            "unchecked-guard",
         ]
     );
 }
@@ -205,6 +207,46 @@ fn barrier_phase_golden() {
     );
 }
 
+#[test]
+fn shard_escape_golden() {
+    assert_eq!(
+        report::json(&lint_fixture("shard_escape.rs")),
+        "{\"findings\":[\
+         {\"rule\":\"shard-escape\",\"file\":\"fixtures/shard_escape.rs\",\"line\":51,\
+         \"message\":\"`process` writes owner-indexed `depth[v]` with no dominating \
+         `partition.owner(v) == pe` guard or `assert_owner!` witness; only the owning \
+         PE may mutate authoritative state — send the update to `owner` instead\"},\
+         {\"rule\":\"shard-escape\",\"file\":\"fixtures/shard_escape.rs\",\"line\":56,\
+         \"message\":\"`on_receive` writes owner-indexed `labels[w]` with no dominating \
+         `partition.owner(w) == pe` guard or `assert_owner!` witness; only the owning \
+         PE may mutate authoritative state — send the update to `owner` instead\"},\
+         {\"rule\":\"shard-escape\",\"file\":\"fixtures/shard_escape.rs\",\"line\":59,\
+         \"message\":\"`on_receive` calls `store` (fixtures/shard_escape.rs:66), which \
+         writes owner-indexed `depth[w]` at line 67 with no dominating owner witness \
+         (via `on_receive` -> `store`)\"},\
+         {\"rule\":\"shard-escape\",\"file\":\"fixtures/shard_escape.rs\",\"line\":60,\
+         \"message\":\"`on_receive` writes shared-immutable field `graph`; \
+         topology/config state is read-only in shard entry paths\"}],\"count\":4}"
+    );
+}
+
+#[test]
+fn unchecked_guard_golden() {
+    assert_eq!(
+        report::json(&lint_fixture("unchecked_guard.rs")),
+        "{\"findings\":[\
+         {\"rule\":\"unchecked-guard\",\"file\":\"fixtures/unchecked_guard.rs\",\
+         \"line\":39,\"message\":\"`push_bad` calls unsafe `slot` with unproven index \
+         `idx+i`; the `# Safety` contract requires it below capacity — dominate it \
+         with a reservation bound check (`idx + n > capacity -> return Err`) or a \
+         loop clamped by an Acquire-loaded publication index\"},\
+         {\"rule\":\"unchecked-guard\",\"file\":\"fixtures/unchecked_guard.rs\",\
+         \"line\":71,\"message\":\"`drain_bad` passes unproven index `i` to `write_at` \
+         (fixtures/unchecked_guard.rs:48), which forwards it to unsafe `slot` \
+         (via `drain_bad` -> `write_at` -> `slot`)\"}],\"count\":2}"
+    );
+}
+
 /// `use helpers::grow as quietly_grow;` must still resolve the call edge
 /// to the allocating definition (alias regression for the call graph).
 #[test]
@@ -363,6 +405,60 @@ fn mutation_missing_publish_is_caught() {
                 && f.message.contains("publish")
         }),
         "publish-removal mutation not caught: {findings:?}"
+    );
+}
+
+/// Seeded mutation: redirecting the non-owner mirror write in BFS
+/// `process` to the authoritative `depth` array (the silent-divergence
+/// bug the owner-computes discipline exists to prevent) must be caught
+/// by `shard-escape` — the write sits in the `else` branch, outside the
+/// `owner == pe` guarded block.
+#[test]
+fn mutation_non_owner_depth_write_is_caught() {
+    let rel = "crates/apps/src/bfs.rs";
+    let clean = read_real(rel);
+    let mirror_write = "self.mirror[pe][w as usize] = nd;";
+    assert!(
+        clean.contains(mirror_write),
+        "bfs.rs mirror write moved; update this mutation"
+    );
+    let mutated = clean.replacen(mirror_write, "self.depth[w as usize] = nd;", 1);
+    let ws = Workspace::from_sources(vec![(rel.into(), mutated)]);
+    let findings = atos_lint::run(&ws, &Config::project());
+    assert!(
+        findings.iter().any(|f| {
+            f.rule == "shard-escape"
+                && f.message.contains("`process`")
+                && f.message.contains("`depth[w]`")
+        }),
+        "non-owner write mutation not caught: {findings:?}"
+    );
+}
+
+/// Seeded mutation: dropping the capacity check before the unchecked
+/// `slot()` writes in `CounterQueue::push_group` must be caught by
+/// `unchecked-guard`, naming the now-unproven index.
+#[test]
+fn mutation_dropped_capacity_check_is_caught() {
+    let rel = "crates/queue/src/counter.rs";
+    let clean = read_real(rel);
+    let guard = "if idx + n > self.slots.len() as u64 {";
+    assert!(
+        clean.contains(guard),
+        "counter.rs capacity check moved; update this mutation"
+    );
+    // Neutralize the guard rather than deleting the block: `u64::MAX` is
+    // never exceeded, so the reservation is no longer bounds-checked.
+    let mutated = clean.replacen(guard, "if idx + n > u64::MAX {", 1);
+    let ws = Workspace::from_sources(vec![(rel.into(), mutated)]);
+    let findings = atos_lint::run(&ws, &Config::project());
+    assert!(
+        findings.iter().any(|f| {
+            f.rule == "unchecked-guard"
+                && f.message.contains("`push_group`")
+                && f.message.contains("`idx+i`")
+        }),
+        "dropped-guard mutation not caught: {findings:?}"
     );
 }
 
