@@ -10,6 +10,31 @@
 //! `ablation_delta` bench sweeps `delta` to reproduce the classic
 //! trade-off (small delta = work-efficient but serial; large = parallel
 //! but speculative).
+//!
+//! # Light/heavy edge splitting ([`run_sssp_delta`])
+//!
+//! Classic delta-stepping additionally defers *heavy* edges (weight >
+//! `delta`): relaxing a heavy edge from a vertex whose distance is still
+//! settling inside its bucket is pure speculation, because the target
+//! lands at least one bucket away and any improvement to the source will
+//! be re-sent anyway. The split mode makes that deferral first-class:
+//!
+//! * every distance-update task is a **light** task — it relaxes only
+//!   edges with weight ≤ `delta`, the ones that can keep the wave inside
+//!   the current bucket;
+//! * a light task additionally schedules one **heavy** co-task at
+//!   priority `2·bucket + 1` (light tasks run at `2·bucket`) whenever the
+//!   vertex distance has improved below the value its heavy edges were
+//!   last scheduled at, so under priority scheduling heavy edges are
+//!   relaxed *after* the bucket's light closure — by which point the
+//!   source distance has settled.
+//!
+//! The heavy co-task re-reads `dist[v]` at execution time and records the
+//! distance it actually relaxed at, so a stale co-task is merely
+//! redundant, never wrong, and a distance that improves again — even
+//! within the same bucket — always triggers a fresh co-task. With `split`
+//! off the application is byte-identical to the original single-kind
+//! formulation.
 
 use std::sync::Arc;
 
@@ -19,6 +44,15 @@ use atos_graph::csr::{Csr, VertexId};
 use atos_graph::partition::Partition;
 use atos_graph::weights::{EdgeWeights, UNREACHED_DIST};
 use atos_sim::Fabric;
+
+/// Task kind: relax all edges (split mode off).
+pub const KIND_FULL: u8 = 0;
+/// Task kind: relax only light edges (weight ≤ delta); first one per
+/// bucket schedules the heavy co-task.
+pub const KIND_LIGHT: u8 = 1;
+/// Task kind: relax only heavy edges (weight > delta), once per bucket.
+pub const KIND_HEAVY: u8 = 2;
+
 
 /// SSSP as an Atos application.
 pub struct SsspApp {
@@ -31,6 +65,15 @@ pub struct SsspApp {
     /// `mirror[pe][w]`: best distance PE `pe` has sent for remote vertex
     /// `w` (sender-side duplicate suppression, private per PE).
     mirror: Vec<Vec<u64>>,
+    /// Lowest distance for which this vertex's heavy edges have been
+    /// scheduled or relaxed (`UNREACHED_DIST` = never). A light task
+    /// re-sends the heavy co-task iff `dist[v]` drops below this.
+    /// Owner-indexed like `dist`; only used in split mode.
+    heavy_sent: Vec<u64>,
+    /// Light (weight ≤ delta) out-degree per vertex; empty unless split.
+    light_deg: Arc<Vec<u32>>,
+    /// Light/heavy edge splitting on? Off = original formulation.
+    split: bool,
     /// Delta-stepping bucket width for the priority queue.
     pub delta: u64,
     source: VertexId,
@@ -45,17 +88,54 @@ impl SsspApp {
         source: VertexId,
         delta: u64,
     ) -> Self {
+        Self::build(graph, weights, partition, source, delta, false)
+    }
+
+    /// [`SsspApp::new`] with light/heavy edge splitting enabled: tasks
+    /// relax only light edges and schedule one heavy co-task per
+    /// (vertex, bucket) at priority `2·bucket + 1`.
+    pub fn new_split(
+        graph: Arc<Csr>,
+        weights: Arc<EdgeWeights>,
+        partition: Arc<Partition>,
+        source: VertexId,
+        delta: u64,
+    ) -> Self {
+        Self::build(graph, weights, partition, source, delta, true)
+    }
+
+    fn build(
+        graph: Arc<Csr>,
+        weights: Arc<EdgeWeights>,
+        partition: Arc<Partition>,
+        source: VertexId,
+        delta: u64,
+        split: bool,
+    ) -> Self {
         let n = graph.n_vertices();
         assert_eq!(partition.n_vertices(), n);
+        let delta = delta.max(1);
         let mut dist = vec![UNREACHED_DIST; n];
         dist[source as usize] = 0;
+        let light_deg = if split {
+            (0..n as VertexId)
+                .map(|v| {
+                    weights.of(v).iter().filter(|&&wt| wt as u64 <= delta).count() as u32
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         SsspApp {
             graph,
             weights,
             partition: partition.clone(),
             dist,
             mirror: vec![vec![UNREACHED_DIST; n]; partition.n_parts()],
-            delta: delta.max(1),
+            heavy_sent: if split { vec![UNREACHED_DIST; n] } else { Vec::new() },
+            light_deg: Arc::new(light_deg),
+            split,
+            delta,
             source,
         }
     }
@@ -64,60 +144,121 @@ impl SsspApp {
     pub fn source(&self) -> VertexId {
         self.source
     }
+
+    /// Bucket index of distance `d`.
+    fn bucket(&self, d: u64) -> u32 {
+        (d / self.delta).min(u32::MAX as u64) as u32
+    }
+
+    /// Kind stamped on newly generated distance-update tasks.
+    fn push_kind(&self) -> u8 {
+        if self.split {
+            KIND_LIGHT
+        } else {
+            KIND_FULL
+        }
+    }
 }
 
 impl Application for SsspApp {
-    /// `(vertex, tentative distance at push time)`.
-    type Task = (VertexId, u64);
+    /// `(vertex, tentative distance at push time, task kind)`.
+    ///
+    /// `kind` is [`KIND_FULL`] whenever splitting is off, so the wire
+    /// format carries a constant byte and behavior is unchanged.
+    type Task = (VertexId, u64, u8);
 
-    fn process(&mut self, pe: usize, (v, _pushed): Self::Task, out: &mut Emitter<Self::Task>) {
+    fn process(&mut self, pe: usize, (v, _pushed, kind): Self::Task, out: &mut Emitter<Self::Task>) {
         debug_assert_eq!(self.partition.owner(v), pe);
         let d = self.dist[v as usize];
         debug_assert_ne!(d, UNREACHED_DIST);
+        if kind == KIND_LIGHT {
+            // Schedule the heavy co-task if the distance improved below
+            // the value the heavy edges were last scheduled at. The
+            // co-task runs at 2b+1, after this bucket's light closure,
+            // and re-reads `dist[v]` then — so heavy edges see the
+            // settled source distance instead of every speculative
+            // improvement.
+            let has_heavy = (self.light_deg[v as usize] as usize) < self.graph.degree(v);
+            if has_heavy && d < self.heavy_sent[v as usize] {
+                self.heavy_sent[v as usize] = d;
+                out.push(pe, (v, d, KIND_HEAVY));
+            }
+        } else if kind == KIND_HEAVY {
+            // Record the distance actually relaxed at: a later light
+            // task only re-sends if `dist[v]` improves below this.
+            let hs = &mut self.heavy_sent[v as usize];
+            *hs = (*hs).min(d);
+        }
         for (&w, &wt) in self.graph.neighbors(v).iter().zip(self.weights.of(v)) {
+            // Edge filter for the split kinds; KIND_FULL relaxes all.
+            match kind {
+                KIND_LIGHT if wt as u64 > self.delta => continue,
+                KIND_HEAVY if wt as u64 <= self.delta => continue,
+                _ => {}
+            }
             let nd = d + wt as u64;
             let owner = self.partition.owner(w);
             if owner == pe {
                 // Local atomicMin + conditional local push.
                 if nd < self.dist[w as usize] {
                     self.dist[w as usize] = nd;
-                    out.push(pe, (w, nd));
+                    out.push(pe, (w, nd, self.push_kind()));
                 }
             } else if nd < self.mirror[pe][w as usize] {
                 // One-sided RDMA atomicMin, applied at the owner on
                 // arrival (same semantics as BFS); the sender's private
                 // mirror suppresses non-improving offers.
                 self.mirror[pe][w as usize] = nd;
-                out.push(owner, (w, nd));
+                out.push(owner, (w, nd, self.push_kind()));
             }
         }
     }
 
-    fn on_receive(&mut self, pe: usize, (w, nd): Self::Task) -> Option<Self::Task> {
+    fn on_receive(&mut self, pe: usize, (w, nd, kind): Self::Task) -> Option<Self::Task> {
         assert_owner!(self.partition, w, pe);
         if nd < self.dist[w as usize] {
             self.dist[w as usize] = nd;
-            Some((w, nd))
+            Some((w, nd, kind))
         } else {
             None
         }
     }
 
-    fn priority(&self, (_, d): &Self::Task) -> u32 {
-        (d / self.delta).min(u32::MAX as u64) as u32
+    fn priority(&self, (_, d, kind): &Self::Task) -> u32 {
+        let b = (d / self.delta).min(u32::MAX as u64) as u32;
+        if self.split {
+            // Interleave: light tasks of bucket b at 2b, the heavy
+            // co-tasks of bucket b at 2b+1, light of b+1 at 2b+2, ...
+            self.bucket(*d).min(u32::MAX / 2 - 1) * 2 + (*kind == KIND_HEAVY) as u32
+        } else {
+            b
+        }
     }
 
-    fn task_edges(&self, (v, _): &Self::Task) -> u64 {
-        self.graph.degree(*v) as u64
+    fn task_edges(&self, (v, _, kind): &Self::Task) -> u64 {
+        let deg = self.graph.degree(*v) as u64;
+        match *kind {
+            KIND_LIGHT => self.light_deg[*v as usize] as u64,
+            KIND_HEAVY => deg - self.light_deg[*v as usize] as u64,
+            _ => deg,
+        }
     }
 
     fn task_bytes(&self) -> u64 {
-        12 // vertex id + 64-bit distance
+        if self.split {
+            13 // vertex id + 64-bit distance + kind byte
+        } else {
+            12 // vertex id + 64-bit distance
+        }
     }
 }
 
 impl ShardableApp for SsspApp {
-    #[atos_shard(owner(dist), private(mirror), shared(graph, weights, partition, delta, source))]
+    #[atos_shard(
+        owner(dist, heavy_sent),
+        private(mirror),
+        shared(graph, weights, partition, light_deg, split, delta, source)
+    )]
     fn fork(&self, _lo: usize, _hi: usize) -> Self {
         SsspApp {
             graph: self.graph.clone(),
@@ -125,6 +266,9 @@ impl ShardableApp for SsspApp {
             partition: self.partition.clone(),
             dist: self.dist.clone(),
             mirror: self.mirror.clone(),
+            heavy_sent: self.heavy_sent.clone(),
+            light_deg: self.light_deg.clone(),
+            split: self.split,
             delta: self.delta,
             source: self.source,
         }
@@ -135,6 +279,12 @@ impl ShardableApp for SsspApp {
             let owner = self.partition.owner(v as VertexId);
             if (lo..hi).contains(&owner) {
                 self.dist[v] = d;
+            }
+        }
+        for (v, hs) in shard.heavy_sent.into_iter().enumerate() {
+            let owner = self.partition.owner(v as VertexId);
+            if (lo..hi).contains(&owner) {
+                self.heavy_sent[v] = hs;
             }
         }
         for (pe, row) in shard.mirror.into_iter().enumerate().take(hi).skip(lo) {
@@ -175,7 +325,7 @@ pub fn run_sssp(
     fabric: Fabric,
     cfg: AtosConfig,
 ) -> SsspRun {
-    run_sssp_sharded(graph, weights, partition, source, delta, fabric, cfg, 1)
+    run_sssp_impl(graph, weights, partition, source, delta, fabric, cfg, 1, false)
 }
 
 /// [`run_sssp`] on `shards` parallel engine shards — byte-identical
@@ -191,10 +341,64 @@ pub fn run_sssp_sharded(
     cfg: AtosConfig,
     shards: usize,
 ) -> SsspRun {
+    run_sssp_impl(graph, weights, partition, source, delta, fabric, cfg, shards, false)
+}
+
+/// Delta-stepping SSSP with light/heavy edge splitting: light tasks
+/// carry the wavefront at priority `2·bucket`, heavy co-tasks relax the
+/// bucket-escaping edges at `2·bucket + 1`, after the bucket's light
+/// closure.
+/// `cfg` should be a priority-queue configuration; under a FIFO queue
+/// the split still produces exact distances but loses its ordering
+/// benefit.
+pub fn run_sssp_delta(
+    graph: Arc<Csr>,
+    weights: Arc<EdgeWeights>,
+    partition: Arc<Partition>,
+    source: VertexId,
+    delta: u64,
+    fabric: Fabric,
+    cfg: AtosConfig,
+) -> SsspRun {
+    run_sssp_impl(graph, weights, partition, source, delta, fabric, cfg, 1, true)
+}
+
+/// [`run_sssp_delta`] on `shards` parallel engine shards.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sssp_delta_sharded(
+    graph: Arc<Csr>,
+    weights: Arc<EdgeWeights>,
+    partition: Arc<Partition>,
+    source: VertexId,
+    delta: u64,
+    fabric: Fabric,
+    cfg: AtosConfig,
+    shards: usize,
+) -> SsspRun {
+    run_sssp_impl(graph, weights, partition, source, delta, fabric, cfg, shards, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sssp_impl(
+    graph: Arc<Csr>,
+    weights: Arc<EdgeWeights>,
+    partition: Arc<Partition>,
+    source: VertexId,
+    delta: u64,
+    fabric: Fabric,
+    cfg: AtosConfig,
+    shards: usize,
+    split: bool,
+) -> SsspRun {
     assert_eq!(partition.n_parts(), fabric.n_pes());
-    let app = SsspApp::new(graph, weights, partition.clone(), source, delta);
+    let app = if split {
+        SsspApp::new_split(graph, weights, partition.clone(), source, delta)
+    } else {
+        SsspApp::new(graph, weights, partition.clone(), source, delta)
+    };
+    let kind = app.push_kind();
     let mut rt = Runtime::new(app, fabric, cfg);
-    rt.seed(partition.owner(source), [(source, 0u64)]);
+    rt.seed(partition.owner(source), [(source, 0u64, kind)]);
     let stats = rt.run_sharded(shards);
     let app = rt.into_app();
     let reachable = app.dist.iter().filter(|&&d| d != UNREACHED_DIST).count() as u64;
@@ -237,6 +441,32 @@ mod tests {
         run
     }
 
+    fn check_delta(
+        g: &Arc<Csr>,
+        w: &Arc<EdgeWeights>,
+        src: VertexId,
+        n_pes: usize,
+        cfg: AtosConfig,
+        delta: u64,
+    ) -> SsspRun {
+        let part = Arc::new(if n_pes == 1 {
+            Partition::single(g.n_vertices())
+        } else {
+            Partition::bfs_grow(g, n_pes, 3)
+        });
+        let run = run_sssp_delta(
+            g.clone(),
+            w.clone(),
+            part,
+            src,
+            delta,
+            Fabric::daisy(n_pes),
+            cfg,
+        );
+        assert_eq!(run.dist, dijkstra(g, w, src), "split distances must be exact");
+        run
+    }
+
     #[test]
     fn matches_dijkstra_all_presets() {
         for p in Preset::ALL {
@@ -246,6 +476,76 @@ mod tests {
             check(&g, &w, src, 1, AtosConfig::standard_persistent(), 4);
             check(&g, &w, src, 4, AtosConfig::standard_persistent(), 4);
             check(&g, &w, src, 4, AtosConfig::priority_discrete(), 4);
+        }
+    }
+
+    #[test]
+    fn delta_stepping_matches_dijkstra_all_presets() {
+        for p in Preset::ALL {
+            let g = Arc::new(p.build(Scale::Tiny));
+            let w = Arc::new(EdgeWeights::random(&g, 16, 9));
+            let src = p.bfs_source(&g);
+            check_delta(&g, &w, src, 1, AtosConfig::priority_discrete(), 4);
+            check_delta(&g, &w, src, 4, AtosConfig::priority_discrete(), 4);
+            // Exactness must not depend on priority scheduling.
+            check_delta(&g, &w, src, 4, AtosConfig::standard_persistent(), 4);
+        }
+    }
+
+    #[test]
+    fn delta_stepping_defers_heavy_edges() {
+        // With weights up to 64 and delta = 8, most edges are heavy. The
+        // split run must stay exact, and its speculative *edge* work on
+        // heavy edges must not exceed the unsplit run's: heavy edges are
+        // relaxed once per settled bucket, not once per improvement.
+        let p = Preset::by_name("twitter_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let w = Arc::new(EdgeWeights::random(&g, 64, 1));
+        let src = p.bfs_source(&g);
+        let plain = check(&g, &w, src, 4, AtosConfig::priority_discrete(), 8);
+        let split = check_delta(&g, &w, src, 4, AtosConfig::priority_discrete(), 8);
+        assert!(
+            split.stats.total_edges() <= plain.stats.total_edges(),
+            "split edges {} vs plain edges {}",
+            split.stats.total_edges(),
+            plain.stats.total_edges()
+        );
+        // Light tasks with zero heavy neighbors must not spawn co-tasks:
+        // total tasks stays within 2x of the unsplit relaxation count.
+        assert!(split.stats.total_tasks() <= 2 * plain.stats.total_tasks());
+    }
+
+    #[test]
+    fn delta_stepping_sharded_is_byte_identical() {
+        let p = Preset::by_name("twitter_s").unwrap();
+        let g = Arc::new(p.build(Scale::Tiny));
+        let w = Arc::new(EdgeWeights::random(&g, 16, 9));
+        let src = p.bfs_source(&g);
+        let part = Arc::new(Partition::bfs_grow(&g, 4, 3));
+        let cfg = AtosConfig::priority_discrete();
+        let seq = run_sssp_delta(
+            g.clone(),
+            w.clone(),
+            part.clone(),
+            src,
+            4,
+            Fabric::daisy(4),
+            cfg,
+        );
+        for k in [2, 4] {
+            let sh = run_sssp_delta_sharded(
+                g.clone(),
+                w.clone(),
+                part.clone(),
+                src,
+                4,
+                Fabric::daisy(4),
+                cfg,
+                k,
+            );
+            assert_eq!(sh.dist, seq.dist, "k={k} distances");
+            assert_eq!(sh.stats.elapsed_ns, seq.stats.elapsed_ns, "k={k} time");
+            assert_eq!(sh.stats.tasks_per_pe, seq.stats.tasks_per_pe, "k={k} tasks");
         }
     }
 

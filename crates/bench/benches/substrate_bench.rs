@@ -179,6 +179,7 @@ fn main() {
         metrics: None,
         flight_dump: None,
         run_id: None,
+        load_balance: atos_core::LoadBalance::Owner,
     };
     let report = SweepReport::start("substrate_bench", &args);
     let mut built = SweepRunner::from_args(&args).run(&[0usize, 1], |_, &which| match which {

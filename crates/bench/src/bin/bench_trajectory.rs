@@ -1,13 +1,16 @@
 //! Benchmark-trajectory runner: measures the engine microbench (wheel vs
-//! retained heap reference) and the fig5/fig8 quick workloads, gates the
-//! fresh numbers against the last committed entries in
+//! retained heap reference), the fig5/fig8 quick workloads, the shard
+//! strong-scaling curve, and the load-balance discipline sweep
+//! (`lb_sweep`: per-discipline quick-BFS wall clock + steal counters,
+//! delta-stepping vs Dijkstra-order SSSP), gates the fresh numbers
+//! against the last committed entries in
 //! `results/BENCH_trajectory.json`, and (with `--append`) records them.
 //!
 //! Usage:
 //!
 //! ```text
 //! bench_trajectory [--sha SHA] [--stamp STAMP] [--events N] [--samples K]
-//!                  [--skip-engine] [--skip-e2e] [--skip-sharded]
+//!                  [--skip-engine] [--skip-e2e] [--skip-sharded] [--skip-lb]
 //!                  [--deny-regression PCT] [--min-speedup X]
 //!                  [--min-shard-speedup X]
 //!                  [--append] [--out PATH]
@@ -32,7 +35,7 @@ use std::path::PathBuf;
 
 use atos_bench::trajectory::{
     append_entries, check_regression, fig5_quick_workload, fig8_quick_workload, last_of_kind,
-    measure_engine, measure_sharded_scaling, read_trajectory, TrajectoryEntry,
+    measure_engine, measure_lb_sweep, measure_sharded_scaling, read_trajectory, TrajectoryEntry,
     DEFAULT_TRAJECTORY_PATH,
 };
 
@@ -44,6 +47,7 @@ struct Args {
     skip_engine: bool,
     skip_e2e: bool,
     skip_sharded: bool,
+    skip_lb: bool,
     deny_regression: Option<f64>,
     min_speedup: Option<f64>,
     min_shard_speedup: Option<f64>,
@@ -60,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         skip_engine: false,
         skip_e2e: false,
         skip_sharded: false,
+        skip_lb: false,
         deny_regression: None,
         min_speedup: None,
         min_shard_speedup: None,
@@ -88,6 +93,7 @@ fn parse_args() -> Result<Args, String> {
             "--skip-engine" => a.skip_engine = true,
             "--skip-e2e" => a.skip_e2e = true,
             "--skip-sharded" => a.skip_sharded = true,
+            "--skip-lb" => a.skip_lb = true,
             "--deny-regression" => {
                 let v = value("--deny-regression")?;
                 a.deny_regression =
@@ -110,7 +116,7 @@ fn parse_args() -> Result<Args, String> {
             other => {
                 return Err(format!(
                     "unknown argument `{other}` (supported: --sha, --stamp, --events N, \
-                     --samples K, --skip-engine, --skip-e2e, --skip-sharded, \
+                     --samples K, --skip-engine, --skip-e2e, --skip-sharded, --skip-lb, \
                      --deny-regression PCT, --min-speedup X, --min-shard-speedup X, \
                      --append, --out PATH)"
                 ))
@@ -211,6 +217,16 @@ fn main() {
         new_entries.push(TrajectoryEntry {
             run_id: run_id.clone(),
             kind: "sharded_scaling".to_string(),
+            metrics,
+        });
+    }
+
+    if !args.skip_lb {
+        let metrics = measure_lb_sweep(args.samples);
+        print_metrics("lb_sweep", &metrics);
+        new_entries.push(TrajectoryEntry {
+            run_id: run_id.clone(),
+            kind: "lb_sweep".to_string(),
             metrics,
         });
     }

@@ -1,18 +1,41 @@
-//! Table III: normalized BFS workload without → with the priority queue.
+//! Table III: normalized BFS workload without → with the priority queue,
+//! plus the same priority story told end-to-end: Dijkstra-order vs
+//! delta-stepping SSSP.
 //!
-//! Counts total vertex visits normalized by an ideal traversal that visits
-//! each reachable vertex exactly once, for the scale-free datasets on 1–4
-//! NVLink GPUs. The paper's claim: speculation causes redundant work that
-//! grows with GPU count, and depth-ordered priority scheduling reduces it.
+//! The BFS block counts total vertex visits normalized by an ideal
+//! traversal that visits each reachable vertex exactly once, for the
+//! scale-free datasets on 1–4 NVLink GPUs. The paper's claim: speculation
+//! causes redundant work that grows with GPU count, and depth-ordered
+//! priority scheduling reduces it.
+//!
+//! The SSSP block promotes the priority workload to a first-class
+//! algorithm comparison: Dijkstra-order SSSP (priority queue, delta = 1 —
+//! work-optimal but serializing) against light/heavy split delta-stepping
+//! ([`atos_apps::sssp::run_sssp_delta`], delta = 8), reporting virtual
+//! milliseconds. Both formulations are asserted to produce identical
+//! distances before either number is printed.
 //!
 //! Each (dataset, gpus) cell runs both configurations and is one unit of
 //! the parallel sweep.
 
+use std::sync::Arc;
+
 use atos_apps::bfs::run_bfs;
+use atos_apps::sssp::{run_sssp, run_sssp_delta};
 use atos_bench::{sweep::record_sim_events, BenchArgs, Dataset, SweepReport, SweepRunner};
 use atos_core::AtosConfig;
 use atos_graph::generators::GraphKind;
+use atos_graph::weights::EdgeWeights;
 use atos_sim::Fabric;
+
+/// Delta-stepping bucket width for the SSSP block (weights are 1..=64,
+/// so delta 8 leaves most edges heavy — the regime where the split
+/// matters).
+const SSSP_DELTA: u64 = 8;
+/// Maximum edge weight for the SSSP block's synthetic weights.
+const SSSP_MAX_WEIGHT: u32 = 64;
+/// Seed for the SSSP block's synthetic weights.
+const SSSP_WEIGHT_SEED: u64 = 1;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -63,6 +86,54 @@ fn main() {
         for _ in gpus {
             let (fifo, prio) = it.next().unwrap();
             print!("{:>18}", format!("{fifo:.3} -> {prio:.3}"));
+        }
+        println!();
+    }
+
+    let sssp_pairs = SweepRunner::from_args(&args).run(&cells, |_, &(d, g)| {
+        let ds = &datasets[d];
+        let part = ds.partition(g);
+        let weights = Arc::new(EdgeWeights::random(&ds.graph, SSSP_MAX_WEIGHT, SSSP_WEIGHT_SEED));
+        let dij = run_sssp(
+            ds.graph.clone(),
+            weights.clone(),
+            part.clone(),
+            ds.source,
+            1,
+            Fabric::daisy(g),
+            AtosConfig::priority_discrete(),
+        );
+        let delta = run_sssp_delta(
+            ds.graph.clone(),
+            weights,
+            part,
+            ds.source,
+            SSSP_DELTA,
+            Fabric::daisy(g),
+            AtosConfig::priority_discrete(),
+        );
+        assert_eq!(
+            delta.dist, dij.dist,
+            "delta-stepping diverged from Dijkstra-order on {} at {g} GPUs",
+            ds.preset.name
+        );
+        record_sim_events(dij.stats.sim_events + delta.stats.sim_events);
+        (dij.stats.elapsed_ms(), delta.stats.elapsed_ms())
+    });
+
+    println!();
+    println!("SSSP: Dijkstra-order (delta=1) -> delta-stepping (delta={SSSP_DELTA}), virtual ms");
+    print!("{:<22}", "Dataset");
+    for g in gpus {
+        print!("{:>22}", format!("{g} GPU{}", if g > 1 { "s" } else { "" }));
+    }
+    println!();
+    let mut it = sssp_pairs.iter();
+    for ds in &datasets {
+        print!("{:<22}", ds.preset.name);
+        for _ in gpus {
+            let (dij, delta) = it.next().unwrap();
+            print!("{:>22}", format!("{dij:.3} -> {delta:.3}"));
         }
         println!();
     }

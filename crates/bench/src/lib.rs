@@ -142,7 +142,9 @@ pub const PR_NVLINK_FRAMEWORKS: [&str; 4] = [
 
 /// Run one NVLink BFS framework; returns virtual ms. Atos cells execute
 /// on `sweep::sim_threads()` engine shards (`--sim-threads`) — the tables
-/// are byte-identical at any shard count.
+/// are byte-identical at any shard count — under the
+/// `sweep::load_balance()` discipline (`--load-balance`, default owner;
+/// baseline frameworks ignore it).
 pub fn bfs_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
     let part = ds.partition(gpus);
     let fabric = Fabric::daisy(gpus);
@@ -155,7 +157,7 @@ pub fn bfs_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
             part,
             ds.source,
             fabric,
-            AtosConfig::standard_persistent(),
+            AtosConfig::standard_persistent().with_lb(sweep::load_balance()),
             shards,
         )
         .stats,
@@ -164,7 +166,7 @@ pub fn bfs_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
             part,
             ds.source,
             fabric,
-            AtosConfig::priority_discrete(),
+            AtosConfig::priority_discrete().with_lb(sweep::load_balance()),
             shards,
         )
         .stats,
@@ -187,7 +189,7 @@ pub fn pr_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
             ALPHA,
             EPSILON,
             fabric,
-            AtosConfig::standard_discrete(),
+            AtosConfig::standard_discrete().with_lb(sweep::load_balance()),
             shards,
         )
         .stats,
@@ -197,7 +199,7 @@ pub fn pr_nvlink_ms(framework: &str, ds: &Dataset, gpus: usize) -> f64 {
             ALPHA,
             EPSILON,
             fabric,
-            AtosConfig::standard_persistent(),
+            AtosConfig::standard_persistent().with_lb(sweep::load_balance()),
             shards,
         )
         .stats,
@@ -220,7 +222,7 @@ pub fn ib_ms(framework: &str, app: &str, ds: &Dataset, gpus: usize) -> f64 {
             part,
             ds.source,
             fabric,
-            AtosConfig::ib_bfs(),
+            AtosConfig::ib_bfs().with_lb(sweep::load_balance()),
             shards,
         )
         .stats,
@@ -230,7 +232,7 @@ pub fn ib_ms(framework: &str, app: &str, ds: &Dataset, gpus: usize) -> f64 {
             ALPHA,
             EPSILON,
             fabric,
-            AtosConfig::ib_pagerank(),
+            AtosConfig::ib_pagerank().with_lb(sweep::load_balance()),
             shards,
         )
         .stats,

@@ -79,7 +79,9 @@ pub fn reference_run(scale: Scale) -> (TraceBuffer, MetricsRegistry) {
 
 /// [`reference_run`] on the sharded window-barrier runtime with `k`
 /// engine shards (`k <= 1` falls back to the sequential engine and
-/// returns no profile). The simulated results and the per-PE/aggregation
+/// returns no profile), under the `crate::sweep::load_balance()`
+/// discipline — so a `--load-balance steal` snapshot carries live
+/// `lb.*` steal counters for `atos-profile`. The simulated results and the per-PE/aggregation
 /// timeline are byte-identical to the sequential run; the trace
 /// additionally carries per-shard `window`/`exchange` tracks, the
 /// registry gains the `shard<i>.*` / `sharded.*` namespaces from
@@ -101,7 +103,7 @@ pub fn reference_run_sharded(
             part,
             ds.source,
             Fabric::ib_cluster(4),
-            AtosConfig::ib_bfs(),
+            AtosConfig::ib_bfs().with_lb(crate::sweep::load_balance()),
             k,
             &mut buf,
         )
@@ -111,7 +113,7 @@ pub fn reference_run_sharded(
             part,
             ds.source,
             Fabric::ib_cluster(4),
-            AtosConfig::ib_bfs(),
+            AtosConfig::ib_bfs().with_lb(crate::sweep::load_balance()),
             &mut buf,
         );
         (run, None)
@@ -209,6 +211,7 @@ mod tests {
             metrics: None,
             flight_dump: None,
             run_id: None,
+            load_balance: atos_core::LoadBalance::Owner,
         };
         emit_artifacts(&args); // must not panic or write anything
     }
@@ -226,6 +229,7 @@ mod tests {
             metrics: Some(dir.join("metrics.json")),
             flight_dump: None,
             run_id: None,
+            load_balance: atos_core::LoadBalance::Owner,
         };
         emit_artifacts(&args);
         let trace = std::fs::read_to_string(dir.join("trace.json")).unwrap();
@@ -273,6 +277,7 @@ mod tests {
             metrics: Some(dir.join("metrics.json")),
             flight_dump: Some(dir.join("flight.json")),
             run_id: None,
+            load_balance: atos_core::LoadBalance::Owner,
         };
         emit_artifacts(&args);
         let metrics = std::fs::read_to_string(dir.join("metrics.json")).unwrap();

@@ -18,6 +18,7 @@
 //! [`SKEWED_RATIO`] moderately skewed, and above that skewed — the shard
 //! partition, not the barrier, is then the scaling limiter.
 
+use atos_core::LoadBalance;
 use atos_trace::hist::{Histogram, HistogramSummary};
 use atos_trace::json::{self, Json};
 
@@ -48,6 +49,9 @@ pub struct ShardRow {
     pub drained: u64,
     /// Total wall-clock nanoseconds the shard's thread spent in barriers.
     pub barrier_wait_total_ns: u64,
+    /// Successful steals the shard's PEs performed (0 under
+    /// owner-computes).
+    pub lb_steals: u64,
     /// Barrier-wait distribution (wall-clock ns per window).
     pub barrier_wait: Option<HistogramSummary>,
     /// Window-span distribution (virtual ns of safe-horizon advance).
@@ -79,6 +83,18 @@ pub struct ProfileSnapshot {
     pub barrier_yield_waits: u64,
     /// Per-window imbalance distribution (permille of perfect balance).
     pub imbalance: Option<HistogramSummary>,
+    /// Active load-balance discipline ([`LoadBalance::code`]; 0 = the
+    /// paper's static owner-computes).
+    pub lb_discipline: u64,
+    /// Successful steals across the run.
+    pub lb_steals: u64,
+    /// Tasks executed away from their owner PE via steals.
+    pub lb_stolen_tasks: u64,
+    /// Total tasks the run processed (`run.tasks`).
+    pub tasks: u64,
+    /// Vertices the run reached (`run.reached_vertices`, the ideal task
+    /// count for traversal apps; 0 when the snapshot predates the key).
+    pub reached: u64,
 }
 
 fn num(v: &Json, key: &str) -> Option<u64> {
@@ -118,6 +134,7 @@ impl ProfileSnapshot {
                 published: p("published").unwrap_or(0),
                 drained: p("drained").unwrap_or(0),
                 barrier_wait_total_ns: p("barrier_wait_total_ns").unwrap_or(0),
+                lb_steals: p("lb_steals").unwrap_or(0),
                 barrier_wait: hist(&v, &format!("shard{s}.barrier_wait_ns")),
                 window_span: hist(&v, &format!("shard{s}.window_span_ns")),
                 window_events: hist(&v, &format!("shard{s}.window_events")),
@@ -134,7 +151,39 @@ impl ProfileSnapshot {
             barrier_frac_permille: num(&v, "sharded.barrier_frac_permille").unwrap_or(0),
             barrier_yield_waits: num(&v, "sharded.barrier_yield_waits").unwrap_or(0),
             imbalance: hist(&v, "sharded.imbalance_permille"),
+            lb_discipline: num(&v, "lb.discipline").unwrap_or(0),
+            lb_steals: num(&v, "lb.steals").unwrap_or(0),
+            lb_stolen_tasks: num(&v, "lb.stolen_tasks").unwrap_or(0),
+            tasks: num(&v, "run.tasks").unwrap_or(0),
+            reached: num(&v, "run.reached_vertices").unwrap_or(0),
         })
+    }
+
+    /// Name of the active load-balance discipline (`"owner"` for
+    /// snapshots that predate the `lb.*` namespace or carry an unknown
+    /// code).
+    pub fn balancer_name(&self) -> &'static str {
+        LoadBalance::from_code(self.lb_discipline.min(u8::MAX as u64) as u8)
+            .unwrap_or(LoadBalance::Owner)
+            .name()
+    }
+
+    /// Redundant work as a percentage over the ideal task count: tasks
+    /// beyond one per reached vertex. `None` when the snapshot carries no
+    /// `run.reached_vertices` (non-traversal app or pre-`lb` history).
+    pub fn redundant_work_pct(&self) -> Option<f64> {
+        if self.reached == 0 {
+            return None;
+        }
+        Some(100.0 * (self.tasks as f64 / self.reached as f64 - 1.0).max(0.0))
+    }
+
+    /// Fraction of tasks executed away from their owner PE via steals.
+    pub fn migrated_frac(&self) -> f64 {
+        if self.tasks == 0 {
+            return 0.0;
+        }
+        self.lb_stolen_tasks as f64 / self.tasks as f64
     }
 
     /// Mean-over-shards fraction of wall-clock spent waiting at barriers.
@@ -226,9 +275,9 @@ pub fn render_report(metrics_json: &str) -> Result<String, String> {
     ));
 
     out.push_str(&format!(
-        "{:<6}{:>10}{:>9}{:>11}{:>10}{:>9}{:>11}{:>11}{:>11}{:>8}\n",
-        "shard", "pes", "windows", "events", "publish", "drain", "wait-p50", "wait-p99", "wait-max",
-        "wait%"
+        "{:<6}{:>10}{:>9}{:>11}{:>10}{:>9}{:>9}{:>11}{:>11}{:>11}{:>8}\n",
+        "shard", "pes", "windows", "events", "publish", "drain", "steals", "wait-p50", "wait-p99",
+        "wait-max", "wait%"
     ));
     for row in &snap.shards {
         let (p50, p99, max) = hist_cells(&row.barrier_wait);
@@ -238,13 +287,14 @@ pub fn render_report(metrics_json: &str) -> Result<String, String> {
             0.0
         };
         out.push_str(&format!(
-            "{:<6}{:>10}{:>9}{:>11}{:>10}{:>9}{:>11}{:>11}{:>11}{:>7.1}%\n",
+            "{:<6}{:>10}{:>9}{:>11}{:>10}{:>9}{:>9}{:>11}{:>11}{:>11}{:>7.1}%\n",
             row.shard,
             format!("{}..{}", row.pe_lo, row.pe_hi),
             row.windows,
             row.events,
             row.published,
             row.drained,
+            row.lb_steals,
             p50,
             p99,
             max,
@@ -276,9 +326,25 @@ pub fn render_report(metrics_json: &str) -> Result<String, String> {
     }
 
     out.push_str(&format!(
-        "\nimbalance: median {:.2}x of perfect balance -> {}\n",
+        "\nimbalance: median {:.2}x of perfect balance under the {} balancer -> {}\n",
         snap.imbalance_ratio(),
+        snap.balancer_name(),
         snap.imbalance_verdict(),
+    ));
+    let redundant = match snap.redundant_work_pct() {
+        Some(pct) => format!("redundant work +{pct:.1}%"),
+        None => "redundant work n/a (no run.reached_vertices in snapshot)".to_string(),
+    };
+    out.push_str(&format!(
+        "load balance: {} discipline, {} steal{} moved {} task{} ({:.1}% of {}), {}\n",
+        snap.balancer_name(),
+        snap.lb_steals,
+        if snap.lb_steals == 1 { "" } else { "s" },
+        snap.lb_stolen_tasks,
+        if snap.lb_stolen_tasks == 1 { "" } else { "s" },
+        100.0 * snap.migrated_frac(),
+        snap.tasks,
+        redundant,
     ));
     out.push_str(&format!(
         "barrier overhead: {:.1}% of wall-clock\n",
@@ -308,6 +374,11 @@ mod tests {
         reg.set("sharded.published", 40);
         reg.set("sharded.barrier_frac_permille", barrier_frac_permille);
         reg.set("sharded.barrier_yield_waits", 3);
+        reg.set("lb.discipline", 1);
+        reg.set("lb.steals", 6);
+        reg.set("lb.stolen_tasks", 48);
+        reg.set("run.tasks", 400);
+        reg.set("run.reached_vertices", 320);
         let mut imb = Histogram::new();
         for _ in 0..9 {
             imb.record(imbalance_p50);
@@ -321,6 +392,7 @@ mod tests {
             reg.set(&format!("shard{s}.published"), 20);
             reg.set(&format!("shard{s}.drained"), 20);
             reg.set(&format!("shard{s}.barrier_wait_total_ns"), 10_000 * (s + 1));
+            reg.set(&format!("shard{s}.lb_steals"), 3 * (s + 1));
             let mut h = Histogram::new();
             for v in [900u64, 1000, 1200, 5000] {
                 h.record(v);
@@ -352,6 +424,33 @@ mod tests {
         assert!(report.contains("moderately skewed"), "{report}");
         assert!(report.contains("barrier overhead: 12.0%"), "{report}");
         assert!(report.contains("scaling headroom"), "{report}");
+        // The load-balance section: verdict names the active balancer,
+        // the steals column renders, and the discipline line carries
+        // steal counts plus the redundant-work percentage.
+        assert!(report.contains("under the steal balancer"), "{report}");
+        assert!(report.contains("steals"), "{report}");
+        assert!(
+            report.contains("load balance: steal discipline, 6 steals moved 48 tasks"),
+            "{report}"
+        );
+        assert!(report.contains("(12.0% of 400), redundant work +25.0%"), "{report}");
+    }
+
+    #[test]
+    fn report_defaults_to_owner_on_pre_lb_snapshots() {
+        // A snapshot with no lb.* namespace (pre-discipline history) must
+        // parse and report owner-computes with zero steals.
+        let mut reg = MetricsRegistry::new();
+        reg.set("sharded.shards", 1);
+        reg.set("shard0.pe_lo", 0);
+        reg.set("shard0.pe_hi", 4);
+        let snap = ProfileSnapshot::parse(&reg.to_json()).unwrap();
+        assert_eq!(snap.balancer_name(), "owner");
+        assert_eq!(snap.lb_steals, 0);
+        assert_eq!(snap.redundant_work_pct(), None);
+        let report = render_report(&reg.to_json()).unwrap();
+        assert!(report.contains("load balance: owner discipline, 0 steals"), "{report}");
+        assert!(report.contains("redundant work n/a"), "{report}");
     }
 
     #[test]

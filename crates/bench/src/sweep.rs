@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use atos_core::LoadBalance;
 use atos_graph::generators::Scale;
 
 /// Default location of the sweep timing report, relative to the working
@@ -70,6 +71,11 @@ pub struct BenchArgs {
     /// byte-identical tables, parallel host wall-clock. Orthogonal to
     /// `--threads`, which fans *independent* sweep cells.
     pub sim_threads: usize,
+    /// Load-balance discipline from `--load-balance {owner|steal|chunk|
+    /// priority}` (default `owner` — the paper's static owner-computes
+    /// assignment). Applied by the framework runners to every Atos run's
+    /// [`atos_core::AtosConfig`]; baseline frameworks ignore it.
+    pub load_balance: LoadBalance,
 }
 
 impl BenchArgs {
@@ -83,6 +89,7 @@ impl BenchArgs {
         match Self::parse_from(&args, env.as_deref(), default_threads()) {
             Ok(a) => {
                 set_sim_threads(a.sim_threads);
+                set_load_balance(a.load_balance);
                 a
             }
             Err(e) => {
@@ -110,6 +117,7 @@ impl BenchArgs {
         let mut flight_dump: Option<PathBuf> = None;
         let mut run_id: Option<String> = None;
         let mut sim_threads = 1usize;
+        let mut load_balance = LoadBalance::Owner;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -145,11 +153,21 @@ impl BenchArgs {
                         .parse()
                         .map_err(|_| format!("invalid --sim-threads value `{v}`"))?;
                 }
+                "--load-balance" => {
+                    let v = it.next().ok_or("--load-balance requires a value")?;
+                    load_balance = LoadBalance::parse(v).ok_or_else(|| {
+                        format!(
+                            "invalid --load-balance value `{v}` \
+                             (expected owner, steal, chunk, or priority)"
+                        )
+                    })?;
+                }
                 other => {
                     return Err(format!(
                         "unknown argument `{other}` (supported: --quick, --threads N, \
                          --json PATH, --trace PATH, --metrics PATH, --flight-dump PATH, \
-                         --run-id ID, --sim-threads K)"
+                         --run-id ID, --sim-threads K, \
+                         --load-balance {{owner|steal|chunk|priority}})"
                     ))
                 }
             }
@@ -171,6 +189,7 @@ impl BenchArgs {
             flight_dump,
             run_id,
             sim_threads: sim_threads.max(1),
+            load_balance,
         })
     }
 }
@@ -190,6 +209,24 @@ pub fn set_sim_threads(k: usize) {
 /// Engine shard count Atos runs execute with (see [`set_sim_threads`]).
 pub fn sim_threads() -> usize {
     SIM_THREADS.load(Ordering::Relaxed)
+}
+
+/// Load-balance discipline each Atos run should use, set once at
+/// argument parse time and read by the framework runners — the same
+/// process-wide pattern as [`SIM_THREADS`], and for the same reason:
+/// every cell of one binary invocation shares the setting.
+static LOAD_BALANCE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the load-balance discipline for subsequent Atos runs.
+pub fn set_load_balance(lb: LoadBalance) {
+    LOAD_BALANCE.store(lb.code() as usize, Ordering::Relaxed);
+}
+
+/// Load-balance discipline Atos runs execute with (see
+/// [`set_load_balance`]).
+pub fn load_balance() -> LoadBalance {
+    LoadBalance::from_code(LOAD_BALANCE.load(Ordering::Relaxed) as u8)
+        .unwrap_or(LoadBalance::Owner)
 }
 
 /// Host parallelism used when neither `--threads` nor
@@ -412,6 +449,7 @@ mod tests {
         assert_eq!(a.flight_dump, None);
         assert_eq!(a.run_id, None);
         assert_eq!(a.sim_threads, 1);
+        assert_eq!(a.load_balance, LoadBalance::Owner);
     }
 
     #[test]
@@ -433,6 +471,8 @@ mod tests {
                 "abc123@2026-01-01T00:00:00Z",
                 "--sim-threads",
                 "4",
+                "--load-balance",
+                "steal",
             ]),
             None,
             1,
@@ -446,7 +486,20 @@ mod tests {
         assert_eq!(a.flight_dump, Some(PathBuf::from("/tmp/f.json")));
         assert_eq!(a.run_id.as_deref(), Some("abc123@2026-01-01T00:00:00Z"));
         assert_eq!(a.sim_threads, 4);
+        assert_eq!(a.load_balance, LoadBalance::Steal);
     }
+
+    #[test]
+    fn parser_accepts_every_load_balance_discipline() {
+        for lb in LoadBalance::ALL {
+            let a =
+                BenchArgs::parse_from(&s(&["--load-balance", lb.name()]), None, 1).unwrap();
+            assert_eq!(a.load_balance, lb);
+        }
+        assert!(BenchArgs::parse_from(&s(&["--load-balance"]), None, 1).is_err());
+        assert!(BenchArgs::parse_from(&s(&["--load-balance", "magic"]), None, 1).is_err());
+    }
+
 
     #[test]
     fn parser_clamps_sim_threads_and_rejects_garbage() {

@@ -19,7 +19,10 @@
 //!    variant ([`fig5_sharded_run`], [`measure_sharded_scaling`]) sweeps
 //!    the Atos cells over K ∈ {1,2,4,8} engine shards and records the
 //!    self-relative speedup curve (plus `host_cores`, since the curve is
-//!    a property of the machine).
+//!    a property of the machine). The load-balance variant
+//!    ([`measure_lb_sweep`]) times the quick BFS under every
+//!    `LoadBalancer` discipline and delta-stepping vs Dijkstra-order
+//!    SSSP, recording the redundant-work/migration counters alongside.
 //! 3. **The trajectory file** ([`TrajectoryEntry`], [`read_trajectory`],
 //!    [`append_entries`], [`check_regression`]): a committed, append-only
 //!    JSON history keyed by `<git sha>@<timestamp>` — both passed in via
@@ -367,6 +370,145 @@ pub fn measure_sharded_scaling(samples: usize) -> BTreeMap<String, f64> {
     metrics
 }
 
+/// Graph families the `lb_sweep` trajectory entry covers: one power-law
+/// (skewed frontier, where stealing/chunking has work to move) and one
+/// road-like mesh (balanced frontier, where a discipline must not add
+/// overhead).
+pub const LB_SWEEP_FAMILIES: [(&str, &str); 2] =
+    [("sf", "twitter_s"), ("road", "road_usa_s")];
+
+/// Measure the load-balance discipline tradeoff for the `lb_sweep`
+/// trajectory entry: best-of-`samples` wall clock of a quick 4-PE BFS on
+/// both [`LB_SWEEP_FAMILIES`] at K=2 engine shards under each
+/// [`LoadBalance`] discipline (`lb_<name>_ms`), plus the discipline's
+/// redundant-work and migration counters (`lb_<name>_tasks`,
+/// `lb_<name>_steals` — informational, never regression-gated), plus the
+/// delta-stepping vs Dijkstra-order SSSP comparison on the power-law
+/// family (`lb_sssp_delta_ms` / `lb_sssp_dijkstra_ms`). Records
+/// `host_cores` like [`measure_sharded_scaling`]: wall-clock under K=2
+/// shard threads is a property of the machine, so [`check_regression`]
+/// skips cross-host comparisons. Panics if any discipline changes a BFS
+/// depth vector or either SSSP formulation diverges from the other — a
+/// load-balance number for a wrong result is worse than no number.
+pub fn measure_lb_sweep(samples: usize) -> BTreeMap<String, f64> {
+    use atos_apps::sssp::{run_sssp, run_sssp_delta};
+    use atos_core::LoadBalance;
+    use atos_graph::weights::EdgeWeights;
+
+    let mut metrics = BTreeMap::new();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    metrics.insert("host_cores".to_string(), cores as f64);
+    let datasets: Vec<Dataset> = LB_SWEEP_FAMILIES
+        .iter()
+        .map(|(_, preset)| Dataset::build(Preset::by_name(preset).unwrap(), Scale::Tiny))
+        .collect();
+    let mut owner_depths: Vec<Vec<u32>> = Vec::new();
+    // `ALL` leads with `Owner`, so the reference depths exist before any
+    // stealing discipline is compared against them.
+    for lb in LoadBalance::ALL {
+        let cfg = AtosConfig::standard_persistent().with_lb(lb);
+        let run_family = |ds: &Dataset| {
+            run_bfs_sharded(
+                ds.graph.clone(),
+                ds.partition(4),
+                ds.source,
+                Fabric::daisy(4),
+                cfg,
+                2,
+            )
+        };
+        let (mut tasks, mut steals) = (0u64, 0u64);
+        for (i, ds) in datasets.iter().enumerate() {
+            let run = run_family(ds);
+            tasks += run.stats.total_tasks();
+            steals += run.stats.lb_steals;
+            if lb == LoadBalance::Owner {
+                owner_depths.push(run.depth);
+            } else {
+                assert_eq!(
+                    run.depth, owner_depths[i],
+                    "{} discipline changed BFS depths on {}",
+                    lb.name(),
+                    LB_SWEEP_FAMILIES[i].1
+                );
+            }
+        }
+        let (ms, _) = best_of_ms(samples, || {
+            let mut sum = 0u64;
+            for ds in &datasets {
+                let stats = run_family(ds).stats;
+                sum = sum
+                    .rotate_left(7)
+                    .wrapping_add(stats.elapsed_ns)
+                    .wrapping_add(stats.sim_events.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            }
+            sum
+        });
+        metrics.insert(format!("lb_{}_ms", lb.name()), ms);
+        metrics.insert(format!("lb_{}_tasks", lb.name()), tasks as f64);
+        metrics.insert(format!("lb_{}_steals", lb.name()), steals as f64);
+    }
+    // Delta-stepping (light/heavy split, delta=8) vs Dijkstra-order
+    // (priority queue, delta=1) SSSP on the power-law family. Equal
+    // distances are asserted once, then each formulation is timed.
+    let ds = &datasets[0];
+    let weights = std::sync::Arc::new(EdgeWeights::random(&ds.graph, 64, 1));
+    let part = ds.partition(4);
+    let dij = run_sssp(
+        ds.graph.clone(),
+        weights.clone(),
+        part.clone(),
+        ds.source,
+        1,
+        Fabric::daisy(4),
+        AtosConfig::priority_discrete(),
+    );
+    let delta = run_sssp_delta(
+        ds.graph.clone(),
+        weights.clone(),
+        part.clone(),
+        ds.source,
+        8,
+        Fabric::daisy(4),
+        AtosConfig::priority_discrete(),
+    );
+    assert_eq!(
+        delta.dist, dij.dist,
+        "delta-stepping SSSP diverged from Dijkstra-order SSSP"
+    );
+    let (dij_ms, _) = best_of_ms(samples, || {
+        run_sssp(
+            ds.graph.clone(),
+            weights.clone(),
+            part.clone(),
+            ds.source,
+            1,
+            Fabric::daisy(4),
+            AtosConfig::priority_discrete(),
+        )
+        .stats
+        .elapsed_ns
+    });
+    let (delta_ms, _) = best_of_ms(samples, || {
+        run_sssp_delta(
+            ds.graph.clone(),
+            weights.clone(),
+            part.clone(),
+            ds.source,
+            8,
+            Fabric::daisy(4),
+            AtosConfig::priority_discrete(),
+        )
+        .stats
+        .elapsed_ns
+    });
+    metrics.insert("lb_sssp_dijkstra_ms".to_string(), dij_ms);
+    metrics.insert("lb_sssp_delta_ms".to_string(), delta_ms);
+    metrics
+}
+
 // ---------------------------------------------------------------------------
 // Trajectory file
 // ---------------------------------------------------------------------------
@@ -376,7 +518,8 @@ pub fn measure_sharded_scaling(samples: usize) -> BTreeMap<String, f64> {
 pub struct TrajectoryEntry {
     /// `<git sha>@<timestamp>` — both supplied on the command line.
     pub run_id: String,
-    /// Entry kind: `engine_microbench`, `e2e_quick`, or `sharded_scaling`.
+    /// Entry kind: `engine_microbench`, `e2e_quick`, `sharded_scaling`,
+    /// or `lb_sweep`.
     pub kind: String,
     /// Numeric metrics; key suffixes carry the regression direction
     /// (`_ms` = lower is better, `_speedup_x` = higher is better).
@@ -573,6 +716,20 @@ mod tests {
                 assert!(m[&key] > 0.0, "{key} not positive");
             }
         }
+    }
+
+    #[test]
+    fn measure_lb_sweep_reports_all_disciplines() {
+        let m = measure_lb_sweep(1);
+        assert!(m["host_cores"] >= 1.0);
+        for lb in atos_core::LoadBalance::ALL {
+            assert!(m[&format!("lb_{}_ms", lb.name())] > 0.0);
+            assert!(m[&format!("lb_{}_tasks", lb.name())] > 0.0);
+            assert!(m.contains_key(&format!("lb_{}_steals", lb.name())));
+        }
+        assert_eq!(m["lb_owner_steals"], 0.0, "owner-computes must never steal");
+        assert!(m["lb_sssp_delta_ms"] > 0.0);
+        assert!(m["lb_sssp_dijkstra_ms"] > 0.0);
     }
 
     #[test]

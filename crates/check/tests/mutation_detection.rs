@@ -1,9 +1,11 @@
-//! Mutation tests: the checker must catch three deliberately seeded
+//! Mutation tests: the checker must catch the deliberately seeded
 //! protocol bugs (see `atos_queue::mutations`), each with a deterministic,
 //! replayable schedule — while the unmutated queues pass the identical
 //! drivers in `queue_models.rs`. This is the falsifiability proof for the
 //! whole subsystem: a checker that cannot reject broken orderings says
-//! nothing by accepting the real ones.
+//! nothing by accepting the real ones. Mutations 1–3 live here; mutation 4
+//! (the relaxed steal-cursor load) lives with the steal-protocol suite in
+//! `steal_models.rs`.
 #![cfg(atos_check)]
 
 use atos_check::{thread, Failure, FailureKind, Model};

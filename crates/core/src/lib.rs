@@ -49,6 +49,7 @@ pub mod config;
 pub mod dqueue;
 pub mod emitter;
 pub mod host;
+pub mod loadbalance;
 pub mod metrics;
 pub mod pgas;
 pub mod profile;
@@ -62,6 +63,10 @@ pub use app::{Application, ShardableApp};
 pub use config::{AtosConfig, CommMode, KernelMode, QueueMode, WorkerConfig, WorkerSize};
 pub use dqueue::DistributedQueues;
 pub use emitter::Emitter;
+pub use loadbalance::{
+    make_balancer, ChunkedFrontier, LoadBalance, LoadBalancer, OwnerComputes, PriorityAware,
+    WorkStealing, STEAL_GRAIN,
+};
 pub use metrics::RunStats;
 pub use host::{run_host, HostApplication, HostConfig, HostStats};
 pub use profile::{FlightRecorder, ShardProfile, ShardTelemetry, WindowRecord};

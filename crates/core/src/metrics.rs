@@ -62,6 +62,15 @@ pub struct RunStats {
     /// Traffic burstiness (coefficient of variation; None if negligible
     /// traffic).
     pub burstiness: Option<f64>,
+    /// Active load-balance discipline (`LoadBalance::code()`); 0 = the
+    /// default owner-computes.
+    pub lb_discipline: u64,
+    /// Steal operations performed (one per victim reservation).
+    pub lb_steals: u64,
+    /// Tasks moved by steals.
+    pub lb_stolen_tasks: u64,
+    /// Edge work moved by steals (`task_edges` of the stolen tasks).
+    pub lb_stolen_edges: u64,
 }
 
 impl RunStats {
@@ -121,6 +130,12 @@ impl RunStats {
         self.agg_poll_idle += other.agg_poll_idle;
         self.peak_pending_events += other.peak_pending_events;
         self.sim_events += other.sim_events;
+        // Every shard runs the same discipline; max (not sum) keeps the
+        // code a code.
+        self.lb_discipline = self.lb_discipline.max(other.lb_discipline);
+        self.lb_steals += other.lb_steals;
+        self.lb_stolen_tasks += other.lb_stolen_tasks;
+        self.lb_stolen_edges += other.lb_stolen_edges;
     }
 
     /// Total tasks processed across PEs.
@@ -188,6 +203,10 @@ impl RunStats {
         reg.set("engine.ev_arrivals", self.ev_arrivals);
         reg.set("engine.ev_agg_polls", self.ev_agg_polls);
         reg.set("engine.peak_pending_events", self.peak_pending_events);
+        reg.set("lb.discipline", self.lb_discipline);
+        reg.set("lb.steals", self.lb_steals);
+        reg.set("lb.stolen_tasks", self.lb_stolen_tasks);
+        reg.set("lb.stolen_edges", self.lb_stolen_edges);
         reg.set(
             "queue.occupancy_hwm",
             self.queue_hwm_per_pe.iter().copied().max().unwrap_or(0),
@@ -233,6 +252,9 @@ mod tests {
         s.agg_flushes_age = 1;
         s.ev_steps = 9;
         s.peak_pending_events = 5;
+        s.lb_discipline = 2;
+        s.lb_steals = 6;
+        s.lb_stolen_tasks = 48;
         let mut reg = MetricsRegistry::new();
         s.fill_metrics(&mut reg);
         assert_eq!(reg.get("run.tasks"), Some(7));
@@ -242,6 +264,28 @@ mod tests {
         assert_eq!(reg.get("agg.flushes_age"), Some(1));
         assert_eq!(reg.get("engine.ev_steps"), Some(9));
         assert_eq!(reg.get("engine.peak_pending_events"), Some(5));
+        assert_eq!(reg.get("lb.discipline"), Some(2));
+        assert_eq!(reg.get("lb.steals"), Some(6));
+        assert_eq!(reg.get("lb.stolen_tasks"), Some(48));
+    }
+
+    #[test]
+    fn absorb_sums_steals_and_keeps_discipline() {
+        let mut a = RunStats::new(2);
+        a.lb_discipline = 1;
+        a.lb_steals = 2;
+        a.lb_stolen_tasks = 10;
+        a.lb_stolen_edges = 100;
+        let mut b = RunStats::new(2);
+        b.lb_discipline = 1;
+        b.lb_steals = 3;
+        b.lb_stolen_tasks = 5;
+        b.lb_stolen_edges = 7;
+        a.absorb(&b);
+        assert_eq!(a.lb_discipline, 1);
+        assert_eq!(a.lb_steals, 5);
+        assert_eq!(a.lb_stolen_tasks, 15);
+        assert_eq!(a.lb_stolen_edges, 107);
     }
 
     #[test]

@@ -162,6 +162,10 @@ pub struct ShardTelemetry {
     pub window_events: Histogram,
     /// Last [`FLIGHT_CAPACITY`] window records.
     pub flight: FlightRecorder,
+    /// Steal operations performed by this shard's PEs (0 under the
+    /// owner-computes discipline; filled in by the sharded fold from the
+    /// shard's `RunStats::lb_steals`).
+    pub lb_steals: u64,
 }
 
 impl ShardTelemetry {
@@ -180,6 +184,7 @@ impl ShardTelemetry {
             window_span: Histogram::new(),
             window_events: Histogram::new(),
             flight: FlightRecorder::new(FLIGHT_CAPACITY),
+            lb_steals: 0,
         }
     }
 
@@ -372,6 +377,7 @@ impl ShardProfile {
             reg.set(&p("published"), t.published);
             reg.set(&p("drained"), t.drained);
             reg.set(&p("barrier_wait_total_ns"), t.barrier_wait_total_ns);
+            reg.set(&p("lb_steals"), t.lb_steals);
             reg.set_histogram(&p("barrier_wait_ns"), t.barrier_wait.clone());
             reg.set_histogram(&p("window_span_ns"), t.window_span.clone());
             reg.set_histogram(&p("window_events"), t.window_events.clone());
@@ -388,6 +394,10 @@ impl ShardProfile {
         reg.set(
             "sharded.published",
             self.shards.iter().map(|s| s.published).sum::<u64>(),
+        );
+        reg.set(
+            "sharded.lb_steals",
+            self.shards.iter().map(|s| s.lb_steals).sum::<u64>(),
         );
         reg.set(
             "sharded.barrier_frac_permille",

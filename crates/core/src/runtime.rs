@@ -40,6 +40,7 @@ use crate::aggregator::AggBuffer;
 use crate::app::{Application, IdleOutcome, ShardableApp};
 use crate::config::{AtosConfig, CommMode, KernelMode, QueueMode};
 use crate::emitter::Emitter;
+use crate::loadbalance::{make_balancer, LoadBalance, LoadBalancer};
 use crate::metrics::RunStats;
 use crate::profile::{self, FlightLog, ShardProfile, WindowRecord};
 use crate::sharded::{ExchangeBoard, SpinBarrier};
@@ -200,6 +201,19 @@ pub struct Runtime<A: Application, Tr: Tracer = NullTracer> {
     /// or the `k <= 1` / shard-conflict fallback). See
     /// [`Runtime::take_shard_profile`].
     shard_profile: Option<ShardProfile>,
+    /// Frontier→PE work-assignment discipline (built from `cfg.lb`).
+    /// Owner-computes never steals, so the default compiles the steal
+    /// paths down to a single `steal_grain() == 0` check per empty pop.
+    balancer: Box<dyn LoadBalancer>,
+    /// PE range steals may draw from: the whole machine sequentially, the
+    /// owning shard's `lo..hi` under `run_sharded` — work never migrates
+    /// across shards, which is what keeps each shard's event order
+    /// sequential and the PDES protocol conservative.
+    lb_range: (usize, usize),
+    /// Per-PE pending-edge estimate (`task_edges` of every queued task),
+    /// maintained only when the balancer ranks victims by edges
+    /// ([`LoadBalancer::tracks_edges`]); otherwise stays all-zero.
+    pending_edges: Vec<u64>,
 }
 
 impl<A: Application> Runtime<A> {
@@ -239,9 +253,21 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
         tracer: Tr,
     ) -> Self {
         let n = fabric.n_pes();
+        // The priority-aware discipline is queue normalization: a FIFO
+        // config runs on priority buckets (threshold 1, delta 1) so the
+        // application's `priority()` — e.g. delta-stepping SSSP's bucket
+        // index — orders processing. Explicit priority configs keep their
+        // own threshold parameters.
+        let queue_mode = match (cfg.lb, cfg.queue) {
+            (LoadBalance::Priority, QueueMode::Standard) => QueueMode::Priority {
+                threshold: 1,
+                threshold_delta: 1,
+            },
+            (_, q) => q,
+        };
         let pes = (0..n)
             .map(|_| Pe {
-                queue: match cfg.queue {
+                queue: match queue_mode {
                     QueueMode::Standard => WorkQueue::standard(),
                     QueueMode::Priority {
                         threshold,
@@ -257,6 +283,8 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
                 emitted: 0,
             })
             .collect();
+        let mut stats = RunStats::new(n);
+        stats.lb_discipline = cfg.lb.code() as u64;
         Runtime {
             engine: Engine::new(),
             fabric,
@@ -264,7 +292,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
             cfg,
             app,
             pes,
-            stats: RunStats::new(n),
+            stats,
             tuning,
             em: Emitter::new(0),
             batch: Vec::new(),
@@ -274,6 +302,9 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
             merge_last: vec![(Time::MAX, usize::MAX); n],
             tracer,
             shard_profile: None,
+            balancer: make_balancer(cfg.lb),
+            lb_range: (0, n),
+            pending_edges: vec![0; n],
         }
     }
 
@@ -313,8 +344,12 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
     /// steps are created by `run`'s bootstrap in ascending PE order, so
     /// seeding order never influences the event sequence.
     pub fn seed(&mut self, pe: usize, tasks: impl IntoIterator<Item = A::Task>) {
+        let track_edges = self.balancer.tracks_edges();
         for t in tasks {
             let prio = self.app.priority(&t);
+            if track_edges {
+                self.pending_edges[pe] += self.app.task_edges(&t);
+            }
             self.pes[pe].queue.push(t, prio);
         }
         self.note_queue_depth(pe);
@@ -497,8 +532,24 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
         };
         let mut batch = std::mem::take(&mut self.batch);
         batch.clear();
-        let got = self.pes[pe].queue.pop_batch(cap, &mut batch);
+        let mut got = self.pes[pe].queue.pop_batch(cap, &mut batch);
         let now = self.engine.now();
+
+        // Load balancing: an empty pop tries to pull a group from a busier
+        // in-range peer before falling to the idle handler. Stolen work
+        // executes under the *victim's* identity (`exec_pe`) — owner-
+        // computes state, sender-side mirrors, and message routing all see
+        // the owner — while busy time and step accounting stay on the
+        // thief: the work moved, the data did not.
+        let mut exec_pe = pe;
+        if got == 0 && self.balancer.steal_grain() != 0 {
+            if let Some(victim) = self.pick_victim(pe) {
+                got = self.steal_from(victim, cap, &mut batch);
+                if got > 0 {
+                    exec_pe = victim;
+                }
+            }
+        }
 
         if got == 0 {
             self.batch = batch;
@@ -521,16 +572,20 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
         self.stats.tasks_per_pe[pe] += got as u64;
 
         let mut em = std::mem::take(&mut self.em);
-        em.reset_for(pe);
+        em.reset_for(exec_pe);
         let mut edges = 0u64;
         let mut span = 0u64;
         for &t in &batch {
             let e = self.app.task_edges(&t);
             edges += e;
             span = span.max(e);
-            self.app.process(pe, t, &mut em);
+            self.app.process(exec_pe, t, &mut em);
         }
         self.stats.edges_per_pe[pe] += edges;
+        if exec_pe == pe && self.balancer.tracks_edges() {
+            // Stolen batches were already debited inside `steal_from`.
+            self.pending_edges[pe] = self.pending_edges[pe].saturating_sub(edges);
+        }
 
         // A full round (queue held more than we popped) runs at pure
         // throughput: hubs pipeline with following batches. Discrete
@@ -547,7 +602,7 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
                 Track::pe(pe),
                 now,
                 busy,
-                "step",
+                if exec_pe == pe { "step" } else { "steal" },
                 ["tasks", "edges"],
                 [got as u64, edges],
             );
@@ -558,10 +613,16 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
                 .counter(Track::pe(pe), now, "worklist", got as u64 + remaining);
         }
 
-        self.absorb_local(pe, &mut em);
-        self.dispatch_remote(pe, &mut em, now, busy);
+        self.absorb_local(exec_pe, &mut em);
+        self.dispatch_remote(exec_pe, &mut em, now, busy);
         self.em = em;
         self.batch = batch;
+        if exec_pe != pe {
+            // Local emissions of stolen work landed on the victim's
+            // queue; make sure the victim has a step coming for them
+            // (no-op while one is already scheduled, the common case).
+            self.wake(exec_pe, busy);
+        }
 
         // Next scheduling round once this one's virtual time has elapsed.
         self.pes[pe].idle_ran = false;
@@ -570,17 +631,108 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
             self.engine.schedule_in(busy, Ev::Step { pe });
         } else {
             // Schedule one more step at the end of the busy window: it
-            // will find the queue empty (unless arrivals beat it) and run
-            // the f2 idle handler exactly once.
+            // will find the queue empty (unless arrivals beat it), try to
+            // steal again, and otherwise run the f2 idle handler exactly
+            // once.
             self.pes[pe].step_scheduled = true;
             self.engine.schedule_in(busy, Ev::Step { pe });
+        }
+        if self.balancer.wakes_idle_peers() && !self.pes[exec_pe].queue.is_empty() {
+            // Backlog survived this round: give drained in-range peers a
+            // steal attempt when the batch's busy window closes.
+            self.wake_idle_peers(pe, busy);
+        }
+    }
+
+    /// Choose a steal victim for `thief`: the in-range PE with the
+    /// highest balancer score (ties to the lowest index). `None` when no
+    /// peer is stealable — the common case, and the only extra cost the
+    /// stealing disciplines add to a quiescing run.
+    #[atos_hot]
+    fn pick_victim(&self, thief: usize) -> Option<usize> {
+        let (lo, hi) = self.lb_range;
+        let track_edges = self.balancer.tracks_edges();
+        let mut best = 0u64;
+        let mut victim = None;
+        for v in lo..hi {
+            if v == thief {
+                continue;
+            }
+            let edges = if track_edges { self.pending_edges[v] } else { 0 };
+            let score = self.balancer.victim_score(self.pes[v].queue.len(), edges);
+            if score > best {
+                best = score;
+                victim = Some(v);
+            }
+        }
+        victim
+    }
+
+    /// Pull up to one steal group from `victim` into `batch`, bounded by
+    /// the thief's round capacity and the balancer's edge budget; returns
+    /// the count taken and books the steal counters. One task per pop so
+    /// the edge budget can stop a chunked steal mid-group — the simulator
+    /// analog of a bounded `pop_group` reservation against the victim's
+    /// published `end` counter.
+    #[atos_hot]
+    fn steal_from(&mut self, victim: usize, cap: usize, batch: &mut Vec<A::Task>) -> usize {
+        let budget = self.balancer.edge_budget(self.pending_edges[victim]);
+        let want = self
+            .balancer
+            .steal_count(self.pes[victim].queue.len())
+            .min(self.balancer.steal_grain())
+            .min(cap);
+        let mut taken = 0usize;
+        let mut edges_taken = 0u64;
+        while taken < want && edges_taken < budget {
+            let at = batch.len();
+            if self.pes[victim].queue.pop_batch(1, batch) == 0 {
+                break;
+            }
+            edges_taken += self.app.task_edges(&batch[at]);
+            taken += 1;
+        }
+        if taken == 0 {
+            return 0;
+        }
+        if self.balancer.tracks_edges() {
+            self.pending_edges[victim] = self.pending_edges[victim].saturating_sub(edges_taken);
+        }
+        self.stats.lb_steals += 1;
+        self.stats.lb_stolen_tasks += taken as u64;
+        self.stats.lb_stolen_edges += edges_taken;
+        taken
+    }
+
+    /// Wake drained in-range peers so they get a steal attempt at the end
+    /// of this busy window. Bypasses [`Runtime::wake`]'s non-empty-queue
+    /// guard: the woken step finds its own queue empty and pulls from a
+    /// victim — or steals nothing and goes back to sleep without
+    /// rescheduling itself, so termination is preserved. `idle_ran` is
+    /// left alone: a steal wake is not an idle transition, so `f2` does
+    /// not re-run.
+    #[atos_hot]
+    fn wake_idle_peers(&mut self, busy_pe: usize, delay: Time) {
+        let (lo, hi) = self.lb_range;
+        for peer in lo..hi {
+            if peer != busy_pe
+                && !self.pes[peer].step_scheduled
+                && self.pes[peer].queue.is_empty()
+            {
+                self.pes[peer].step_scheduled = true;
+                self.engine.schedule_in(delay, Ev::Step { pe: peer });
+            }
         }
     }
 
     #[atos_hot]
     fn absorb_local(&mut self, pe: usize, em: &mut Emitter<A::Task>) {
+        let track_edges = self.balancer.tracks_edges();
         for t in em.local.drain(..) {
             let prio = self.app.priority(&t);
+            if track_edges {
+                self.pending_edges[pe] += self.app.task_edges(&t);
+            }
             self.pes[pe].queue.push(t, prio);
         }
         self.note_queue_depth(pe);
@@ -810,11 +962,15 @@ impl<A: Application, Tr: Tracer> Runtime<A, Tr> {
     #[atos_hot]
     fn arrive(&mut self, dst: usize, mut tasks: Vec<A::Task>) {
         let mut enqueued = false;
+        let track_edges = self.balancer.tracks_edges();
         for t in tasks.drain(..) {
             // One-sided destination-side effect (e.g. the RDMA atomicMin):
             // only improved updates enter the queue.
             if let Some(t2) = self.app.on_receive(dst, t) {
                 let prio = self.app.priority(&t2);
+                if track_edges {
+                    self.pending_edges[dst] += self.app.task_edges(&t2);
+                }
                 self.pes[dst].queue.push(t2, prio);
                 enqueued = true;
             }
@@ -980,7 +1136,12 @@ impl<A: ShardableApp, Tr: Tracer> Runtime<A, Tr> {
                 );
                 for pe in lo..hi {
                     std::mem::swap(&mut sub.pes[pe].queue, &mut self.pes[pe].queue);
+                    sub.pending_edges[pe] = self.pending_edges[pe];
                 }
+                // Steals stay within the shard, so each shard's event
+                // order remains sequential and the exchange protocol
+                // stays conservative.
+                sub.lb_range = (lo, hi);
                 sub.bootstrap(lo, hi);
                 sub
             })
@@ -1040,8 +1201,10 @@ impl<A: ShardableApp, Tr: Tracer> Runtime<A, Tr> {
         // the sequential run's and the time-sorting Chrome exporter emits
         // byte-identical JSON for the shared tracks.
         let mut elapsed: Time = 0;
+        let mut shard_steals: Vec<u64> = Vec::with_capacity(ranges.len());
         for (s, mut sub) in subs.into_iter().enumerate() {
             let (lo, hi) = ranges[s];
+            shard_steals.push(sub.stats.lb_steals);
             sub.stats.elapsed_ns = sub.engine.now();
             sub.stats.sim_events = sub.engine.processed();
             sub.stats.peak_pending_events = sub.engine.max_pending() as u64;
@@ -1061,13 +1224,12 @@ impl<A: ShardableApp, Tr: Tracer> Runtime<A, Tr> {
         self.fabric.trace.finish(elapsed);
         self.stats.wire_bytes = self.fabric.trace.total_wire_bytes();
         self.stats.burstiness = self.fabric.trace.burstiness();
-        self.shard_profile = Some(ShardProfile::from_log(
-            flight,
-            wall_ns,
-            threads,
-            lookahead,
-            barrier.yield_waits(),
-        ));
+        let mut profile =
+            ShardProfile::from_log(flight, wall_ns, threads, lookahead, barrier.yield_waits());
+        for (t, &steals) in profile.shards.iter_mut().zip(&shard_steals) {
+            t.lb_steals = steals;
+        }
+        self.shard_profile = Some(profile);
         self.stats.clone()
     }
 }

@@ -219,6 +219,41 @@ fn steady_state_send_paths_do_not_allocate_per_task() {
          (expected warm-up only; exchange buffers must recycle)"
     );
 
+    // Work stealing: a skewed seed (every task on PE 0) forces PE 1
+    // through the full steal path — idle-peer wake, victim scan, group
+    // steal — a few hundred times. The steal machinery reuses the step's
+    // pop scratch and never builds candidate lists, so the budget stays
+    // warm-up-only.
+    use atos_core::LoadBalance;
+    const SKEW_TASKS: usize = 20_000;
+    for lb in [LoadBalance::Steal, LoadBalance::Chunk] {
+        let mut rt = Runtime::new(
+            Relay { n_pes: 2 },
+            Fabric::daisy(2),
+            AtosConfig {
+                comm: CommMode::Direct { group: 32 },
+                ..AtosConfig::standard_persistent()
+            }
+            .with_lb(lb),
+        );
+        rt.seed(0, std::iter::repeat_n(0u32, SKEW_TASKS));
+        let before = alloc_calls();
+        let stats = rt.run();
+        let during = alloc_calls() - before;
+        assert_eq!(stats.total_tasks(), SKEW_TASKS as u64);
+        assert!(
+            stats.lb_steals > 0,
+            "{:?}: skewed seed must trigger steals",
+            lb
+        );
+        assert_eq!(stats.lb_stolen_tasks, stats.lb_stolen_edges, "unit-degree tasks");
+        assert!(
+            during < 2_000,
+            "{lb:?} mode: {during} allocations across {} steals (expected warm-up only)",
+            stats.lb_steals
+        );
+    }
+
     // Profiling-layer record paths (exact-zero, see the scenario's doc).
     histogram_record_and_flight_push_scenario();
 }
@@ -314,6 +349,9 @@ fn every_hot_runtime_fn_is_covered_by_a_counted_scenario() {
         ("agg_poll", "aggregated relay: age-trigger poll per bundle"),
         ("run_window", "all relays: every execution window drains through it"),
         ("merge_records", "all relays: staged messages merged at every window boundary"),
+        ("pick_victim", "steal/chunk relays: victim scan on every empty pop"),
+        ("steal_from", "steal/chunk relays: group steal from the skewed PE"),
+        ("wake_idle_peers", "steal/chunk relays: backlogged steps wake the idle peer"),
     ];
     const COVERED_ENGINE: &[(&str, &str)] = &[
         ("schedule_at", "engine churn scenario + every relay event"),

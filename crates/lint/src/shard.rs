@@ -84,12 +84,14 @@ fn find_method<'a>(file: &'a SourceFile, ty: &str, name: &str) -> Option<&'a FnI
 }
 
 /// Is the token at `j` the start of an assignment operator (`=` or a
-/// compound `+=`-family, excluding the `==` comparison)?
+/// compound `+=`-family, excluding the `==` comparison and the `=>`
+/// match arrow — `recv.field => ..` in a match-guard arm is a read)?
 fn assigns_at(toks: &[Tok], j: usize) -> bool {
     let Some(t) = toks.get(j) else { return false };
     let next_eq = toks.get(j + 1).is_some_and(|n| n.is("="));
     if t.is("=") {
-        return !next_eq;
+        let arrow = toks.get(j + 1).is_some_and(|n| n.is(">"));
+        return !next_eq && !arrow;
     }
     matches!(t.text.as_str(), "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^") && next_eq
 }

@@ -289,6 +289,118 @@ impl<T: Copy + Send> CasQueueRelaxedEnd<T> {
     }
 }
 
+/// Mutation 4: the counter queue with the *pop-side* publication-frontier
+/// loads weakened `Acquire`→`Relaxed`. This is the steal-protocol twin:
+/// a stealer pops from a victim's queue through the exact same
+/// `pop_group`/`PopState` path the owner uses, and the only edge that
+/// makes its slot reads safe is the Acquire load of `end` synchronizing
+/// with the victim-side pusher's AcqRel publication. Weakening that load
+/// means observing `end > start` no longer brings the pusher's slot
+/// writes into view — the cross-PE steal reads a slot that was never
+/// released to it. Push side is byte-for-byte the real protocol.
+pub struct CounterQueueRelaxedSteal<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    start: AtomicU64,
+    end: AtomicU64,
+    end_alloc: AtomicU64,
+    end_max: AtomicU64,
+    end_count: AtomicU64,
+}
+
+unsafe impl<T: Copy + Send> Sync for CounterQueueRelaxedSteal<T> {}
+unsafe impl<T: Copy + Send> Send for CounterQueueRelaxedSteal<T> {}
+
+impl<T: Copy + Send> CounterQueueRelaxedSteal<T> {
+    /// Fixed-arena constructor (mirrors `CounterQueue::with_capacity`).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            start: AtomicU64::new(0),
+            end: AtomicU64::new(0),
+            end_alloc: AtomicU64::new(0),
+            end_max: AtomicU64::new(0),
+            end_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Unmodified push side (identical to `CounterQueue::push_group`).
+    pub fn push_group(&self, items: &[T]) -> Result<(), QueueFull> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let n = items.len() as u64;
+        let idx = self.end_alloc.fetch_add(n, Ordering::Relaxed);
+        if idx + n > self.slots.len() as u64 {
+            return Err(QueueFull {
+                capacity: self.slots.len(),
+            });
+        }
+        for (i, &item) in items.iter().enumerate() {
+            self.slots[(idx + i as u64) as usize].with_mut(|p| unsafe { (*p).write(item) });
+        }
+        self.end_max.fetch_max(idx + n, Ordering::AcqRel);
+        let prev = self.end_count.fetch_add(n, Ordering::AcqRel);
+        let m = self.end_max.load(Ordering::Acquire);
+        if prev + n == m {
+            self.end.fetch_max(m, Ordering::AcqRel);
+        }
+        Ok(())
+    }
+
+    /// `CounterQueue::pop_group` with every `end` load weakened.
+    pub fn pop_group(&self, state: &mut PopState, max: usize, out: &mut Vec<T>) -> usize {
+        fn drain<T: Copy>(
+            slots: &[UnsafeCell<MaybeUninit<T>>],
+            end: &AtomicU64,
+            state: &mut PopState,
+            max: usize,
+            out: &mut Vec<T>,
+        ) -> usize {
+            if state.cursor == state.claim_hi {
+                return 0;
+            }
+            // BUG (mutation 4): Acquire weakened to Relaxed — the claim
+            // bound is still numerically correct, but the load no longer
+            // synchronizes with the pusher's AcqRel `fetch_max` on `end`,
+            // so the slot reads below race with the slot writes.
+            let e = end.load(Ordering::Relaxed);
+            let hi = state.claim_hi.min(e);
+            let take = (hi.saturating_sub(state.cursor)).min(max as u64);
+            for i in 0..take {
+                let v = slots[(state.cursor + i) as usize].with(|p| unsafe { (*p).assume_init() });
+                out.push(v);
+            }
+            state.cursor += take;
+            take as usize
+        }
+
+        if max == 0 {
+            return 0;
+        }
+        let mut produced = drain(&self.slots, &self.end, state, max, out);
+        if produced == max {
+            return produced;
+        }
+        if state.cursor == state.claim_hi {
+            // BUG (mutation 4): same weakening on the availability estimate.
+            let e = self.end.load(Ordering::Relaxed);
+            let s = self.start.load(Ordering::Relaxed);
+            if e <= s {
+                return produced;
+            }
+            let want = ((max - produced) as u64).min(e - s);
+            let old = self.start.fetch_add(want, Ordering::Relaxed);
+            state.claim_lo = old;
+            state.cursor = old;
+            state.claim_hi = old + want;
+            produced += drain(&self.slots, &self.end, state, max - produced, out);
+        }
+        produced
+    }
+}
+
 /// The real `CounterQueue::pop_group` body, shared by the twins whose bug
 /// is on the push side so their pop path stays byte-for-byte faithful.
 fn pop_group_counter_protocol<T: Copy>(

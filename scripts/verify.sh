@@ -65,6 +65,37 @@ grep -q '"sim_threads": 4' "$tmp/sweep.json" || {
 echo "ok: sweep report records sim_threads"
 
 echo
+echo "== load-balance smoke (owner byte-identity, steal/chunk determinism) =="
+# The LoadBalancer trait (DESIGN.md §10) must be invisible under the
+# default discipline: --load-balance owner is byte-identical to the
+# plain run (and therefore to the committed goldens below). steal/chunk
+# legitimately change the schedule and the virtual clock, but the
+# simulation stays deterministic: two identical invocations must produce
+# byte-identical stdout (result-equality across disciplines is asserted
+# inside measure_lb_sweep, which the trajectory gate below runs).
+./target/release/fig5_scaling_nvlink --quick --threads 1 --load-balance owner \
+    --json "$tmp/sweep.json" > "$tmp/fig5.lb_owner.out" 2> /dev/null
+if ! cmp -s "$tmp/fig5_scaling_nvlink.serial.out" "$tmp/fig5.lb_owner.out"; then
+    echo "FAIL: --load-balance owner differs from the default run" >&2
+    diff "$tmp/fig5_scaling_nvlink.serial.out" "$tmp/fig5.lb_owner.out" | head >&2
+    exit 1
+fi
+echo "ok: --load-balance owner byte-identical to the default"
+for lb in steal chunk; do
+    for rerun in a b; do
+        ./target/release/fig5_scaling_nvlink --quick --threads 1 \
+            --load-balance "$lb" --json "$tmp/sweep.json" \
+            > "$tmp/fig5.lb_$lb.$rerun.out" 2> /dev/null
+    done
+    if ! cmp -s "$tmp/fig5.lb_$lb.a.out" "$tmp/fig5.lb_$lb.b.out"; then
+        echo "FAIL: --load-balance $lb not deterministic across reruns" >&2
+        diff "$tmp/fig5.lb_$lb.a.out" "$tmp/fig5.lb_$lb.b.out" | head >&2
+        exit 1
+    fi
+    echo "ok: --load-balance $lb deterministic (reruns byte-identical)"
+done
+
+echo
 echo "== golden byte-compare (committed quick outputs pin determinism) =="
 for pair in "fig5_scaling_nvlink:results/fig5_quick.txt" "table5_ib:results/table5_quick.txt"; do
     bin="${pair%%:*}"; golden="${pair#*:}"
@@ -79,11 +110,14 @@ done
 echo
 echo "== bench trajectory (engine microbench + e2e smoke, regression gate) =="
 # Re-measures the wheel-vs-heap microbench, the fig5/fig8 quick
-# workloads, and the shard-scaling curve, then gates against the last
-# committed entries in results/BENCH_trajectory.json. Thresholds are
-# loose (shared hosts are noisy); the ratios are load-relative and
-# therefore stable. The shard floor self-gates on host core count —
-# a 1-core host records a flat curve instead of failing.
+# workloads, the shard-scaling curve, and the load-balance discipline
+# sweep (per-discipline wall clock + steal counters, delta-stepping vs
+# Dijkstra-order SSSP), then gates against the last committed entries
+# in results/BENCH_trajectory.json. Thresholds are loose (shared hosts
+# are noisy); the ratios are load-relative and therefore stable. The
+# shard floor self-gates on host core count — a 1-core host records a
+# flat curve instead of failing — and cross-host comparisons are
+# skipped for the host-dependent kinds (host_cores is recorded).
 ./target/release/bench_trajectory \
     --sha "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
     --stamp "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
